@@ -1,0 +1,298 @@
+//! Friends-of-friends clustering.
+//!
+//! Two points are friends when they lie within the linking length `b` of
+//! each other (Chebyshev metric on the periodic grid; one time-step apart
+//! at most in the 4-D variant). Clusters are the transitive closure —
+//! "the locations of maximum vorticity in the dataset were clustered ...
+//! in 4d using a friends-of-friends algorithm" (paper §3, Fig. 3).
+
+use std::collections::HashMap;
+
+use tdb_cache::ThresholdPoint;
+
+/// A threshold point tagged with its time-step (4-D clustering input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceTimePoint {
+    pub timestep: u32,
+    pub point: ThresholdPoint,
+}
+
+/// Summary of one friends-of-friends cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Number of member points.
+    pub size: usize,
+    /// Largest field norm among members.
+    pub peak_value: f32,
+    /// Location of the peak (grid coordinates).
+    pub peak_location: (u32, u32, u32),
+    /// Time-step of the peak (0 for 3-D clustering).
+    pub peak_timestep: u32,
+    /// Time-steps spanned (1 for 3-D clustering).
+    pub timespan: u32,
+    /// Member indexes into the input slice.
+    pub members: Vec<usize>,
+}
+
+/// Disjoint-set forest with path compression and union by size.
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Periodic Chebyshev-adjacency test along one axis.
+#[inline]
+fn axis_close(a: u32, b: u32, n: u32, link: u32) -> bool {
+    let d = a.abs_diff(b);
+    d <= link || n - d <= link
+}
+
+/// Friends-of-friends clustering of one time-step's points on a periodic
+/// grid of extents `dims`, linking length `link` (grid units, Chebyshev).
+/// Returns clusters sorted by descending peak value.
+pub fn fof_clusters_3d(
+    points: &[ThresholdPoint],
+    dims: (u32, u32, u32),
+    link: u32,
+) -> Vec<ClusterStats> {
+    let tagged: Vec<SpaceTimePoint> = points
+        .iter()
+        .map(|&point| SpaceTimePoint { timestep: 0, point })
+        .collect();
+    fof_clusters_4d(&tagged, dims, link, 0)
+}
+
+/// 4-D friends-of-friends: points are friends when within `link` in every
+/// spatial axis (periodic) *and* within `time_link` time-steps.
+pub fn fof_clusters_4d(
+    points: &[SpaceTimePoint],
+    dims: (u32, u32, u32),
+    link: u32,
+    time_link: u32,
+) -> Vec<ClusterStats> {
+    assert!(link >= 1, "linking length must be at least one grid unit");
+    let n = points.len();
+    let mut dsu = Dsu::new(n);
+    // spatial-hash on cells of edge `link`: friends are always in the same
+    // or an adjacent cell
+    let cell_of = |p: &SpaceTimePoint| -> (u32, u32, u32, u32) {
+        let (x, y, z) = p.point.coords();
+        (x / link, y / link, z / link, p.timestep)
+    };
+    let ncells = (
+        dims.0.div_ceil(link),
+        dims.1.div_ceil(link),
+        dims.2.div_ceil(link),
+    );
+    let mut buckets: HashMap<(u32, u32, u32, u32), Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        buckets.entry(cell_of(p)).or_default().push(i);
+    }
+    let close = |a: &SpaceTimePoint, b: &SpaceTimePoint| -> bool {
+        if a.timestep.abs_diff(b.timestep) > time_link {
+            return false;
+        }
+        let (ax, ay, az) = a.point.coords();
+        let (bx, by, bz) = b.point.coords();
+        axis_close(ax, bx, dims.0, link)
+            && axis_close(ay, by, dims.1, link)
+            && axis_close(az, bz, dims.2, link)
+    };
+    for (&(cx, cy, cz, ct), members) in &buckets {
+        // within-cell pairs
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if close(&points[a], &points[b]) {
+                    dsu.union(a, b);
+                }
+            }
+        }
+        // neighbour cells (half of them, to visit each pair once), with
+        // periodic wrap in space and ±time_link in time
+        for dt in 0..=time_link {
+            for dzi in -1i64..=1 {
+                for dyi in -1i64..=1 {
+                    for dxi in -1i64..=1 {
+                        if dt == 0 && (dzi, dyi, dxi) <= (0, 0, 0) {
+                            continue;
+                        }
+                        let nb = (
+                            (i64::from(cx) + dxi).rem_euclid(i64::from(ncells.0)) as u32,
+                            (i64::from(cy) + dyi).rem_euclid(i64::from(ncells.1)) as u32,
+                            (i64::from(cz) + dzi).rem_euclid(i64::from(ncells.2)) as u32,
+                            ct + dt,
+                        );
+                        let Some(others) = buckets.get(&nb) else {
+                            continue;
+                        };
+                        for &a in members {
+                            for &b in others {
+                                if close(&points[a], &points[b]) {
+                                    dsu.union(a, b);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // collect clusters
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        groups.entry(dsu.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<ClusterStats> = groups
+        .into_values()
+        .map(|members| {
+            let peak = members
+                .iter()
+                .copied()
+                .max_by(|&a, &b| points[a].point.value.total_cmp(&points[b].point.value))
+                .expect("nonempty cluster");
+            let ts: Vec<u32> = members.iter().map(|&i| points[i].timestep).collect();
+            let tmin = ts.iter().min().copied().unwrap_or(0);
+            let tmax = ts.iter().max().copied().unwrap_or(0);
+            ClusterStats {
+                size: members.len(),
+                peak_value: points[peak].point.value,
+                peak_location: points[peak].point.coords(),
+                peak_timestep: points[peak].timestep,
+                timespan: tmax - tmin + 1,
+                members,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.peak_value.total_cmp(&a.peak_value));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: u32, y: u32, z: u32, v: f32) -> ThresholdPoint {
+        ThresholdPoint::at(x, y, z, v)
+    }
+
+    #[test]
+    fn two_blobs_form_two_clusters() {
+        let points = vec![
+            p(1, 1, 1, 5.0),
+            p(2, 1, 1, 6.0),
+            p(1, 2, 1, 4.0),
+            p(30, 30, 30, 9.0),
+            p(31, 30, 30, 8.0),
+        ];
+        let clusters = fof_clusters_3d(&points, (64, 64, 64), 1);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].peak_value, 9.0);
+        assert_eq!(clusters[0].size, 2);
+        assert_eq!(clusters[1].size, 3);
+        assert_eq!(clusters[1].peak_location, (2, 1, 1));
+    }
+
+    #[test]
+    fn linking_length_controls_merging() {
+        let points = vec![p(0, 0, 0, 1.0), p(3, 0, 0, 2.0)];
+        assert_eq!(fof_clusters_3d(&points, (64, 64, 64), 1).len(), 2);
+        assert_eq!(fof_clusters_3d(&points, (64, 64, 64), 3).len(), 1);
+    }
+
+    #[test]
+    fn clusters_wrap_around_periodic_boundaries() {
+        let points = vec![p(63, 5, 5, 1.0), p(0, 5, 5, 2.0)];
+        let clusters = fof_clusters_3d(&points, (64, 64, 64), 1);
+        assert_eq!(clusters.len(), 1, "periodic neighbours must link");
+    }
+
+    #[test]
+    fn transitive_chains_form_one_cluster() {
+        let points: Vec<ThresholdPoint> = (0..20).map(|i| p(i, 0, 0, i as f32)).collect();
+        let clusters = fof_clusters_3d(&points, (64, 64, 64), 1);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].size, 20);
+    }
+
+    #[test]
+    fn four_d_links_across_adjacent_timesteps_only() {
+        let pts = vec![
+            SpaceTimePoint {
+                timestep: 0,
+                point: p(5, 5, 5, 1.0),
+            },
+            SpaceTimePoint {
+                timestep: 1,
+                point: p(6, 5, 5, 2.0),
+            },
+            SpaceTimePoint {
+                timestep: 5,
+                point: p(5, 5, 5, 3.0),
+            },
+        ];
+        let clusters = fof_clusters_4d(&pts, (64, 64, 64), 1, 1);
+        assert_eq!(clusters.len(), 2);
+        let biggest = clusters.iter().find(|c| c.size == 2).unwrap();
+        assert_eq!(biggest.timespan, 2);
+        // with a huge time link everything merges
+        let merged = fof_clusters_4d(&pts, (64, 64, 64), 1, 10);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].timespan, 6);
+    }
+
+    #[test]
+    fn result_is_invariant_under_input_permutation() {
+        let mut points: Vec<ThresholdPoint> = Vec::new();
+        for i in 0..30u32 {
+            points.push(p((i * 7) % 50, (i * 13) % 50, (i * 29) % 50, i as f32));
+        }
+        let a = fof_clusters_3d(&points, (50, 50, 50), 2);
+        points.reverse();
+        let b = fof_clusters_3d(&points, (50, 50, 50), 2);
+        let mut sa: Vec<usize> = a.iter().map(|c| c.size).collect();
+        let mut sb: Vec<usize> = b.iter().map(|c| c.size).collect();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+        assert_eq!(a[0].peak_value, b[0].peak_value);
+    }
+
+    #[test]
+    fn singletons_are_clusters_of_one() {
+        let points = vec![p(0, 0, 0, 1.0)];
+        let clusters = fof_clusters_3d(&points, (8, 8, 8), 1);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].size, 1);
+        assert_eq!(clusters[0].timespan, 1);
+        assert!(fof_clusters_3d(&[], (8, 8, 8), 1).is_empty());
+    }
+}

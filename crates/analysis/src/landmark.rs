@@ -1,0 +1,154 @@
+//! The landmark database (paper §7, future work).
+//!
+//! "The introduction of an application-aware cache for query results lays
+//! the groundwork for the creation of a landmark database. Such a database
+//! can store the locations of the highest vorticity regions in the dataset
+//! or more broadly regions of interest and their associated statistics."
+
+use std::collections::BTreeMap;
+
+use tdb_zorder::Box3;
+
+use crate::fof::ClusterStats;
+
+/// One region of interest and its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landmark {
+    pub dataset: String,
+    pub field: String,
+    pub timestep: u32,
+    /// Bounding box of the region.
+    pub region: Box3,
+    pub peak_value: f32,
+    pub peak_location: (u32, u32, u32),
+    pub num_points: usize,
+}
+
+/// An in-memory landmark catalogue, ordered by descending peak value per
+/// (dataset, field).
+#[derive(Debug, Default)]
+pub struct LandmarkDb {
+    entries: BTreeMap<(String, String), Vec<Landmark>>,
+}
+
+impl LandmarkDb {
+    /// Empty catalogue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the clusters of one time-step's threshold query as
+    /// landmarks. `dims` bounds the per-cluster bounding boxes.
+    pub fn record_clusters(
+        &mut self,
+        dataset: &str,
+        field: &str,
+        timestep: u32,
+        clusters: &[ClusterStats],
+        points: &[tdb_cache::ThresholdPoint],
+    ) {
+        for c in clusters {
+            let mut lo = [u32::MAX; 3];
+            let mut hi = [0u32; 3];
+            for &m in &c.members {
+                let (x, y, z) = points[m].coords();
+                for (i, v) in [x, y, z].into_iter().enumerate() {
+                    lo[i] = lo[i].min(v);
+                    hi[i] = hi[i].max(v);
+                }
+            }
+            self.insert(Landmark {
+                dataset: dataset.to_string(),
+                field: field.to_string(),
+                timestep,
+                region: Box3::new(lo, hi),
+                peak_value: c.peak_value,
+                peak_location: c.peak_location,
+                num_points: c.size,
+            });
+        }
+    }
+
+    /// Inserts a landmark, keeping per-key ordering by peak value.
+    pub fn insert(&mut self, lm: Landmark) {
+        let key = (lm.dataset.clone(), lm.field.clone());
+        let list = self.entries.entry(key).or_default();
+        let pos = list
+            .binary_search_by(|e| lm.peak_value.total_cmp(&e.peak_value))
+            .unwrap_or_else(|p| p);
+        list.insert(pos, lm);
+    }
+
+    /// The `k` most intense landmarks of a field across all time-steps.
+    pub fn top(&self, dataset: &str, field: &str, k: usize) -> &[Landmark] {
+        self.entries
+            .get(&(dataset.to_string(), field.to_string()))
+            .map(|v| &v[..k.min(v.len())])
+            .unwrap_or(&[])
+    }
+
+    /// Landmarks of one time-step.
+    pub fn at_timestep(&self, dataset: &str, field: &str, t: u32) -> Vec<&Landmark> {
+        self.entries
+            .get(&(dataset.to_string(), field.to_string()))
+            .map(|v| v.iter().filter(|l| l.timestep == t).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of landmarks.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fof::fof_clusters_3d;
+    use tdb_cache::ThresholdPoint;
+
+    #[test]
+    fn record_and_rank_landmarks() {
+        let points = vec![
+            ThresholdPoint::at(1, 1, 1, 5.0),
+            ThresholdPoint::at(2, 1, 1, 7.0),
+            ThresholdPoint::at(40, 40, 40, 9.0),
+        ];
+        let clusters = fof_clusters_3d(&points, (64, 64, 64), 1);
+        let mut db = LandmarkDb::new();
+        db.record_clusters("mhd", "vorticity", 3, &clusters, &points);
+        assert_eq!(db.len(), 2);
+        let top = db.top("mhd", "vorticity", 1);
+        assert_eq!(top[0].peak_value, 9.0);
+        assert_eq!(top[0].num_points, 1);
+        // bounding box of the two-point cluster
+        let second = &db.top("mhd", "vorticity", 2)[1];
+        assert_eq!(second.region, Box3::new([1, 1, 1], [2, 1, 1]));
+        assert_eq!(db.at_timestep("mhd", "vorticity", 3).len(), 2);
+        assert!(db.at_timestep("mhd", "vorticity", 0).is_empty());
+        assert!(db.top("mhd", "pressure", 5).is_empty());
+    }
+
+    #[test]
+    fn insert_keeps_descending_order_across_timesteps() {
+        let mut db = LandmarkDb::new();
+        for (t, v) in [(0u32, 3.0f32), (1, 9.0), (2, 6.0)] {
+            db.insert(Landmark {
+                dataset: "iso".into(),
+                field: "q".into(),
+                timestep: t,
+                region: Box3::cube(2),
+                peak_value: v,
+                peak_location: (0, 0, 0),
+                num_points: 1,
+            });
+        }
+        let tops: Vec<f32> = db.top("iso", "q", 3).iter().map(|l| l.peak_value).collect();
+        assert_eq!(tops, vec![9.0, 6.0, 3.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Tracking intense-event clusters through time.
+//!
+//! "Once obtained from the service, these locations can be clustered in
+//! both 3d and 4d. This allows scientists to examine their evolution with
+//! the flow" (paper §3). Given per-time-step friends-of-friends clusters,
+//! this module links them into tracks: a cluster at step `t+1` continues
+//! the track of the nearest cluster at step `t` whose peak lies within a
+//! linking distance (periodic Chebyshev metric), each cluster continuing
+//! at most one track.
+
+use crate::fof::ClusterStats;
+
+/// Periodic Chebyshev distance between two grid points.
+fn chebyshev_periodic(a: (u32, u32, u32), b: (u32, u32, u32), dims: (u32, u32, u32)) -> u32 {
+    let axis = |x: u32, y: u32, n: u32| {
+        let d = x.abs_diff(y);
+        d.min(n - d)
+    };
+    axis(a.0, b.0, dims.0)
+        .max(axis(a.1, b.1, dims.1))
+        .max(axis(a.2, b.2, dims.2))
+}
+
+/// One cluster's life across time-steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// `(step index, cluster index within that step)` per visited step,
+    /// consecutive steps only.
+    pub path: Vec<(usize, usize)>,
+    /// Largest peak value along the track.
+    pub peak_value: f32,
+    /// Step index where the peak occurs.
+    pub peak_step: usize,
+}
+
+impl Track {
+    /// Number of steps the track spans.
+    pub fn lifetime(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Links per-step clusters into tracks.
+///
+/// `steps[i]` holds the clusters of step `i` (any order). A cluster links
+/// to the nearest unclaimed cluster of the previous step whose peak is
+/// within `max_link` (periodic Chebyshev); unlinked clusters start new
+/// tracks. Tracks are returned sorted by descending peak value.
+pub fn track_clusters(
+    steps: &[Vec<ClusterStats>],
+    dims: (u32, u32, u32),
+    max_link: u32,
+) -> Vec<Track> {
+    let mut tracks: Vec<Track> = Vec::new();
+    // open_tracks[j] = index into `tracks` whose tail is cluster j of the
+    // previous step
+    let mut open: Vec<usize> = Vec::new();
+    for (step_idx, clusters) in steps.iter().enumerate() {
+        let prev: Vec<usize> = open.clone();
+        let mut claimed = vec![false; prev.len()];
+        let mut next_open = vec![usize::MAX; clusters.len()];
+        // greedy nearest-match: iterate clusters by descending peak so the
+        // strongest events claim their predecessors first
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by(|&a, &b| clusters[b].peak_value.total_cmp(&clusters[a].peak_value));
+        for ci in order {
+            let c = &clusters[ci];
+            let mut best: Option<(u32, usize)> = None;
+            for (pj, &track_idx) in prev.iter().enumerate() {
+                if claimed[pj] {
+                    continue;
+                }
+                let (last_step, last_ci) = *tracks[track_idx].path.last().expect("nonempty");
+                debug_assert_eq!(last_step + 1, step_idx);
+                let d = chebyshev_periodic(
+                    c.peak_location,
+                    steps[last_step][last_ci].peak_location,
+                    dims,
+                );
+                if d <= max_link && best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, pj));
+                }
+            }
+            let track_idx = match best {
+                Some((_, pj)) => {
+                    claimed[pj] = true;
+                    let idx = prev[pj];
+                    tracks[idx].path.push((step_idx, ci));
+                    if c.peak_value > tracks[idx].peak_value {
+                        tracks[idx].peak_value = c.peak_value;
+                        tracks[idx].peak_step = step_idx;
+                    }
+                    idx
+                }
+                None => {
+                    tracks.push(Track {
+                        path: vec![(step_idx, ci)],
+                        peak_value: c.peak_value,
+                        peak_step: step_idx,
+                    });
+                    tracks.len() - 1
+                }
+            };
+            next_open[ci] = track_idx;
+        }
+        open = next_open;
+    }
+    tracks.sort_by(|a, b| b.peak_value.total_cmp(&a.peak_value));
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fof::fof_clusters_3d;
+    use tdb_cache::ThresholdPoint;
+
+    fn blob(cx: u32, cy: u32, cz: u32, peak: f32) -> Vec<ThresholdPoint> {
+        vec![
+            ThresholdPoint::at(cx, cy, cz, peak),
+            ThresholdPoint::at(cx + 1, cy, cz, peak * 0.8),
+            ThresholdPoint::at(cx, cy + 1, cz, peak * 0.7),
+        ]
+    }
+
+    fn clusters_of(points: Vec<ThresholdPoint>) -> Vec<ClusterStats> {
+        fof_clusters_3d(&points, (64, 64, 64), 2)
+    }
+
+    #[test]
+    fn a_moving_blob_forms_one_track() {
+        // a blob drifting +2 in x per step, peak growing then decaying
+        let steps: Vec<Vec<ClusterStats>> = (0..5)
+            .map(|t| {
+                let peak = 10.0 + 5.0 * (2.0 - (t as f32 - 2.0).abs());
+                clusters_of(blob(10 + 2 * t as u32, 20, 20, peak))
+            })
+            .collect();
+        let tracks = track_clusters(&steps, (64, 64, 64), 3);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].lifetime(), 5);
+        assert_eq!(tracks[0].peak_step, 2);
+        assert!((tracks[0].peak_value - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn distant_blobs_form_separate_tracks() {
+        let steps: Vec<Vec<ClusterStats>> = (0..3)
+            .map(|t| {
+                let mut pts = blob(10, 10, 10 + t as u32, 5.0);
+                pts.extend(blob(50, 50, 50, 9.0));
+                clusters_of(pts)
+            })
+            .collect();
+        let tracks = track_clusters(&steps, (64, 64, 64), 3);
+        assert_eq!(tracks.len(), 2);
+        // strongest first
+        assert!(tracks[0].peak_value > tracks[1].peak_value);
+        assert_eq!(tracks[0].lifetime(), 3);
+        assert_eq!(tracks[1].lifetime(), 3);
+    }
+
+    #[test]
+    fn track_breaks_when_the_event_jumps_too_far() {
+        let steps = vec![
+            clusters_of(blob(10, 10, 10, 5.0)),
+            clusters_of(blob(40, 40, 40, 6.0)), // far away: new track
+        ];
+        let tracks = track_clusters(&steps, (64, 64, 64), 3);
+        assert_eq!(tracks.len(), 2);
+        assert!(tracks.iter().all(|t| t.lifetime() == 1));
+    }
+
+    #[test]
+    fn tracking_wraps_periodic_boundaries() {
+        let steps = vec![
+            clusters_of(blob(62, 10, 10, 5.0)),
+            clusters_of(blob(1, 10, 10, 5.5)), // wrapped neighbour
+        ];
+        let tracks = track_clusters(&steps, (64, 64, 64), 4);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].lifetime(), 2);
+    }
+
+    #[test]
+    fn a_dying_event_frees_its_slot() {
+        // blob A exists at steps 0-1; a new blob B appears at step 2 in a
+        // different place: two tracks, no spurious linkage
+        let steps = vec![
+            clusters_of(blob(10, 10, 10, 5.0)),
+            clusters_of(blob(11, 10, 10, 4.0)),
+            clusters_of(blob(30, 30, 30, 7.0)),
+        ];
+        let tracks = track_clusters(&steps, (64, 64, 64), 3);
+        assert_eq!(tracks.len(), 2);
+        let lifetimes: Vec<usize> = tracks.iter().map(Track::lifetime).collect();
+        assert!(lifetimes.contains(&2) && lifetimes.contains(&1));
+    }
+
+    #[test]
+    fn merging_events_claim_nearest_predecessor_by_strength() {
+        // two blobs converge; at step 1 only one cluster remains — it
+        // continues exactly one of the two tracks
+        let steps = vec![
+            {
+                let mut pts = blob(10, 10, 10, 5.0);
+                pts.extend(blob(18, 10, 10, 8.0));
+                clusters_of(pts)
+            },
+            clusters_of(blob(14, 10, 10, 9.0)),
+        ];
+        let tracks = track_clusters(&steps, (64, 64, 64), 6);
+        assert_eq!(tracks.len(), 2);
+        let continued = tracks
+            .iter()
+            .find(|t| t.lifetime() == 2)
+            .expect("one continues");
+        assert_eq!(continued.peak_value, 9.0);
+    }
+}

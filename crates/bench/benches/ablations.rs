@@ -1,0 +1,141 @@
+//! Ablations of the design choices DESIGN.md calls out: buffer-pool size,
+//! finite-difference order (halo traffic), chunk granularity, and the
+//! z-order range decomposition that drives partition pruning.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::scratch_dir;
+use tdb_cluster::ClusterConfig;
+use tdb_core::{DerivedField, FdOrder, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+use tdb_zorder::{decompose_box, Box3};
+
+fn build(chunk_atoms: u32, fd_order: FdOrder, tag: &str) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(64, 1, 0xab1a),
+        cluster: ClusterConfig {
+            num_nodes: 4,
+            procs_per_node: 4,
+            arrays_per_node: 4,
+            chunk_atoms,
+            fd_order,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}
+
+/// Halo traffic and kernel cost versus finite-difference order.
+fn fd_order_ablation(c: &mut Criterion) {
+    static SERVICES: OnceLock<Vec<(FdOrder, TurbulenceService)>> = OnceLock::new();
+    let services = SERVICES.get_or_init(|| {
+        FdOrder::all()
+            .into_iter()
+            .map(|o| (o, build(2, o, &format!("abl_fd{}", o.order()))))
+            .collect()
+    });
+    let mut g = c.benchmark_group("ablation_fd_order");
+    g.sample_size(10);
+    for (order, s) in services {
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 40.0)
+            .without_cache();
+        g.bench_with_input(BenchmarkId::from_parameter(order.order()), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Chunk granularity: many small chunks (more halo redundancy, better
+/// balance) versus few large ones.
+fn chunk_size_ablation(c: &mut Criterion) {
+    static SERVICES: OnceLock<Vec<(u32, TurbulenceService)>> = OnceLock::new();
+    let services = SERVICES.get_or_init(|| {
+        [1u32, 2, 4]
+            .into_iter()
+            .map(|ca| (ca, build(ca, FdOrder::O4, &format!("abl_chunk{ca}"))))
+            .collect()
+    });
+    let mut g = c.benchmark_group("ablation_chunk_size");
+    g.sample_size(10);
+    for (ca, s) in services {
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 40.0)
+            .without_cache();
+        g.bench_with_input(BenchmarkId::from_parameter(ca), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Cache on/off on a repeated-query workload (the headline ablation).
+fn cache_ablation(c: &mut Criterion) {
+    static SERVICE: OnceLock<TurbulenceService> = OnceLock::new();
+    let s = SERVICE.get_or_init(|| build(2, FdOrder::O4, "abl_cache"));
+    let mut g = c.benchmark_group("ablation_cache");
+    g.sample_size(10);
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 40.0);
+    g.bench_function("cache_off", |b| {
+        let q = q.clone().without_cache();
+        b.iter(|| s.get_threshold(&q).unwrap())
+    });
+    s.get_threshold(&q).unwrap(); // warm
+    g.bench_function("cache_on_warm", |b| b.iter(|| s.get_threshold(&q).unwrap()));
+    g.finish();
+}
+
+/// Exact z-order decomposition vs a single covering range: how much scan
+/// work partition pruning saves on a boxed query.
+fn zrange_pruning_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_zrange_decomposition");
+    let boxes = [
+        ("thin_slab", Box3::new([0, 0, 12], [63, 63, 19])),
+        ("octant", Box3::new([0, 0, 0], [31, 31, 31])),
+        ("column", Box3::new([24, 24, 0], [39, 39, 63])),
+    ];
+    for (label, b3) in boxes {
+        let atom_box = b3.atom_box();
+        g.bench_with_input(BenchmarkId::new("decompose", label), &atom_box, |b, ab| {
+            b.iter(|| decompose_box(ab, 6))
+        });
+        // report covered-vs-exact factor once per box
+        let ranges = decompose_box(&atom_box, 6);
+        let exact: u64 = ranges.iter().map(|r| r.len()).sum();
+        let cover = ranges.last().unwrap().end - ranges[0].start + 1;
+        eprintln!(
+            "zrange pruning [{label}]: {} ranges, exact {exact} atoms vs {cover} in one covering range ({:.1}x saved)",
+            ranges.len(),
+            cover as f64 / exact as f64
+        );
+    }
+    g.finish();
+}
+
+/// Top-k strategies: unbounded full scan vs PDF-guided threshold pruning
+/// (the PDF itself is served from the extended cache once warm).
+fn topk_strategy_ablation(c: &mut Criterion) {
+    static SERVICE: OnceLock<TurbulenceService> = OnceLock::new();
+    let s = SERVICE.get_or_init(|| build(2, FdOrder::O4, "abl_topk"));
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 0.0);
+    let mut g = c.benchmark_group("ablation_topk_strategy");
+    g.sample_size(10);
+    g.bench_function("full_scan", |b| b.iter(|| s.get_topk(&q, 50).unwrap()));
+    s.get_topk_guided(&q, 50).unwrap(); // warm the PDF + threshold caches
+    g.bench_function("pdf_guided_warm", |b| {
+        b.iter(|| s.get_topk_guided(&q, 50).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fd_order_ablation,
+    chunk_size_ablation,
+    cache_ablation,
+    zrange_pruning_ablation,
+    topk_strategy_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Microbenchmarks of the hot primitives: Morton coding, finite
+//! differences, block encode/decode + checksum, threshold scan, and
+//! friends-of-friends clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tdb_analysis::fof::fof_clusters_3d;
+use tdb_cache::ThresholdPoint;
+use tdb_field::{Grid3, PaddedVector, ScalarField, VectorField};
+use tdb_kernels::{DerivedField, DiffScheme, FdOrder};
+use tdb_storage::MvccStore;
+use tdb_storage::{AtomKey, AtomRecord};
+use tdb_wire::{Json, Request, Response};
+use tdb_zorder::{decode3, encode3, ATOM_POINTS};
+
+fn morton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton");
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("encode3_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..(1u32 << 16) {
+                acc ^= encode3(i & 1023, (i >> 2) & 1023, (i >> 4) & 1023);
+            }
+            acc
+        })
+    });
+    g.bench_function("decode3_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..(1u64 << 16) {
+                let (x, y, z) = decode3(i * 0x9e37);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn kernels(c: &mut Criterion) {
+    let n = 64;
+    let grid = Grid3::periodic_cube(n, std::f64::consts::TAU);
+    let h = std::f64::consts::TAU / n as f64;
+    let mk = |p: f64| {
+        ScalarField::from_fn(n, n, n, move |x, y, z| {
+            ((h * x as f64 + p).sin() * (h * y as f64).cos() + (h * z as f64 * 2.0).sin()) as f32
+        })
+    };
+    let v = VectorField::from_components([mk(0.0), mk(1.0), mk(2.0)]);
+    let mut g = c.benchmark_group("kernels_64cubed");
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    for order in FdOrder::all() {
+        let scheme = DiffScheme::new(&grid, order);
+        let mut padded = PaddedVector::zeros(n, n, n, scheme.halo());
+        padded.fill_periodic_from(&v, [0, 0, 0]);
+        g.bench_with_input(
+            BenchmarkId::new("curl_norm", order.order()),
+            &padded,
+            |b, p| b.iter(|| DerivedField::CurlNorm.eval(p, &scheme, [0, 0, 0])),
+        );
+    }
+    let scheme = DiffScheme::new(&grid, FdOrder::O4);
+    let mut padded = PaddedVector::zeros(n, n, n, scheme.halo());
+    padded.fill_periodic_from(&v, [0, 0, 0]);
+    g.bench_function("q_criterion_o4", |b| {
+        b.iter(|| DerivedField::QCriterion.eval(&padded, &scheme, [0, 0, 0]))
+    });
+    g.finish();
+}
+
+fn storage_blocks(c: &mut Criterion) {
+    let records: Vec<AtomRecord> = (0..10)
+        .map(|i| {
+            AtomRecord::new(
+                AtomKey::new(0, i * 8),
+                3,
+                (0..3 * ATOM_POINTS).map(|k| k as f32).collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let encoded = tdb_storage::block::encode_block(&records);
+    let mut g = c.benchmark_group("storage_block");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_10_atoms", |b| {
+        b.iter(|| tdb_storage::block::encode_block(&records))
+    });
+    g.bench_function("decode_10_atoms", |b| {
+        b.iter(|| tdb_storage::block::decode_block(encoded.clone(), "bench").unwrap())
+    });
+    g.bench_function("crc32_64k", |b| b.iter(|| tdb_storage::checksum(&encoded)));
+    g.finish();
+}
+
+fn fof(c: &mut Criterion) {
+    // clustered point cloud: a few dense blobs plus background
+    let mut points = Vec::new();
+    let mut state = 0x12345u64;
+    let mut rnd = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for blob in 0..20 {
+        let cx = rnd() % 240;
+        let cy = rnd() % 240;
+        let cz = rnd() % 240;
+        for _ in 0..200 {
+            points.push(ThresholdPoint::at(
+                (cx + rnd() % 8) % 256,
+                (cy + rnd() % 8) % 256,
+                (cz + rnd() % 8) % 256,
+                blob as f32,
+            ));
+        }
+    }
+    let mut g = c.benchmark_group("fof");
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("4000_points_20_blobs", |b| {
+        b.iter(|| fof_clusters_3d(&points, (256, 256, 256), 2))
+    });
+    g.finish();
+}
+
+fn wire_json(c: &mut Criterion) {
+    let resp = Response::Threshold {
+        points: (0..1000)
+            .map(|i| ThresholdPoint::at(i % 64, (i / 64) % 64, i % 13, 42.5 + i as f32))
+            .collect(),
+        breakdown: Default::default(),
+        cache_hits: 4,
+        nodes: 4,
+    };
+    let encoded = resp.to_json().encode();
+    let mut g = c.benchmark_group("wire_json");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_1000_points", |b| b.iter(|| resp.to_json().encode()));
+    g.bench_function("parse_1000_points", |b| {
+        b.iter(|| Response::from_json(&Json::parse(&encoded).unwrap()).unwrap())
+    });
+    let req = Request::GetThreshold {
+        raw_field: "velocity".into(),
+        derived: tdb_kernels::DerivedField::CurlNorm,
+        timestep: 3,
+        query_box: None,
+        threshold: 44.0,
+        use_cache: true,
+    };
+    g.bench_function("request_roundtrip", |b| {
+        b.iter(|| Request::from_json(&Json::parse(&req.to_json().encode()).unwrap()).unwrap())
+    });
+    g.finish();
+}
+
+fn mvcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mvcc");
+    g.bench_function("commit_100_rows", |b| {
+        let store: MvccStore<u64, u64> = MvccStore::new();
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut t = store.begin();
+            for i in 0..100 {
+                t.put(next + i, i);
+            }
+            next += 100;
+            t.commit().unwrap()
+        })
+    });
+    let store: MvccStore<u64, u64> = MvccStore::new();
+    let mut seed = store.begin();
+    for i in 0..10_000u64 {
+        seed.put(i, i * 2);
+    }
+    seed.commit().unwrap();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("range_scan_1000_of_10000", |b| {
+        b.iter(|| store.begin().range(4000..5000).len())
+    });
+    g.bench_function("point_get", |b| {
+        let txn = store.begin();
+        b.iter(|| txn.get(&7777))
+    });
+    g.finish();
+}
+
+fn buffer_pool(c: &mut Criterion) {
+    use tdb_storage::bufferpool::{BlockKey, BufferPool};
+    let pool: BufferPool = BufferPool::new(64 << 20);
+    let mut session = tdb_storage::IoSession::new();
+    for i in 0..1024u32 {
+        pool.get_or_load(
+            BlockKey {
+                file_id: 0,
+                block_no: i,
+            },
+            &mut session,
+            |_| Ok(bytes::Bytes::from(vec![0u8; 4096])),
+        )
+        .unwrap();
+    }
+    let mut g = c.benchmark_group("buffer_pool");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("hit_1024_blocks", |b| {
+        b.iter(|| {
+            let mut s = tdb_storage::IoSession::new();
+            for i in 0..1024u32 {
+                pool.get_or_load(
+                    BlockKey {
+                        file_id: 0,
+                        block_no: i,
+                    },
+                    &mut s,
+                    |_| unreachable!("must hit"),
+                )
+                .unwrap();
+            }
+            s.pool_hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    morton,
+    kernels,
+    storage_blocks,
+    fof,
+    wire_json,
+    mvcc,
+    buffer_pool
+);
+criterion_main!(benches);

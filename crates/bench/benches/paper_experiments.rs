@@ -1,0 +1,151 @@
+//! Criterion benches mirroring the paper's experiments at bench scale
+//! (64³ so a full `cargo bench` stays in minutes). One group per
+//! table/figure; the `repro` binary prints the paper-style tables at
+//! 128³+.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::scratch_dir;
+use tdb_cluster::ClusterConfig;
+use tdb_core::{DerivedField, QueryMode, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+
+fn service() -> &'static TurbulenceService {
+    static SERVICE: OnceLock<TurbulenceService> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        let config = ServiceConfig {
+            dataset: SyntheticDataset::mhd(64, 2, 0xbe7c),
+            cluster: ClusterConfig {
+                num_nodes: 4,
+                procs_per_node: 4,
+                arrays_per_node: 4,
+                chunk_atoms: 2,
+                compute_scale: 6.0,
+                ..ClusterConfig::default()
+            },
+            limits: Default::default(),
+            data_dir: scratch_dir("bench_paper"),
+        };
+        TurbulenceService::build(config).expect("build")
+    })
+}
+
+fn tier_thresholds() -> &'static [f64; 3] {
+    static TIERS: OnceLock<[f64; 3]> = OnceLock::new();
+    TIERS.get_or_init(|| {
+        let s = service();
+        [3.95e-6, 8.06e-5, 8.47e-4].map(|f| {
+            s.threshold_for_fraction("velocity", DerivedField::CurlNorm, 0, f)
+                .expect("threshold")
+        })
+    })
+}
+
+/// Table 1 / Fig. 6: no-cache vs cache-miss vs cache-hit wall time.
+fn cache_effectiveness(c: &mut Criterion) {
+    let s = service();
+    let tiers = tier_thresholds();
+    let mut g = c.benchmark_group("table1_cache_effectiveness");
+    g.sample_size(10);
+    for (label, k) in [("high", tiers[0]), ("medium", tiers[1]), ("low", tiers[2])] {
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k);
+        g.bench_with_input(BenchmarkId::new("no_cache", label), &q, |b, q| {
+            let q = q.clone().without_cache();
+            b.iter(|| s.get_threshold(&q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cache_miss", label), &q, |b, q| {
+            b.iter(|| {
+                s.cluster()
+                    .invalidate_cache_entry("velocity", DerivedField::CurlNorm, 0);
+                s.get_threshold(q).unwrap()
+            })
+        });
+        // warm once, then hits
+        s.get_threshold(&q).unwrap();
+        g.bench_with_input(BenchmarkId::new("cache_hit", label), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 7(a): scale-up with processes per node (real wall time of the
+/// in-process evaluation; the modelled curves come from `repro fig7a`).
+fn scale_up(c: &mut Criterion) {
+    let s = service();
+    let k = tier_thresholds()[1];
+    let mut g = c.benchmark_group("fig7a_scale_up");
+    g.sample_size(10);
+    for procs in [1usize, 2, 4, 8] {
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+            .without_cache()
+            .with_procs(procs);
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 8: full evaluation vs I/O-only scan.
+fn io_vs_total(c: &mut Criterion) {
+    let s = service();
+    let k = tier_thresholds()[1];
+    let mut g = c.benchmark_group("fig8_io_vs_total");
+    g.sample_size(10);
+    for (label, mode) in [("total", QueryMode::Full), ("io_only", QueryMode::IoOnly)] {
+        let q = ThresholdQuery {
+            mode,
+            ..ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+                .without_cache()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 9: per-field evaluation cost (vorticity vs Q-criterion vs raw).
+fn field_breakdown(c: &mut Criterion) {
+    let s = service();
+    let mut g = c.benchmark_group("fig9_field_breakdown");
+    g.sample_size(10);
+    for (raw, derived, label) in [
+        ("velocity", DerivedField::CurlNorm, "vorticity"),
+        ("velocity", DerivedField::QCriterion, "q_criterion"),
+        ("magnetic", DerivedField::Norm, "magnetic_raw"),
+    ] {
+        let k = s
+            .threshold_for_fraction(raw, derived, 0, 8.06e-5)
+            .expect("threshold");
+        let q = ThresholdQuery::whole_timestep(raw, derived, 0, k).without_cache();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| s.get_threshold(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 2: PDF query over a full time-step.
+fn pdf_query(c: &mut Criterion) {
+    let s = service();
+    let mut g = c.benchmark_group("fig2_pdf_query");
+    g.sample_size(10);
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 0.0);
+    g.bench_function("vorticity_pdf", |b| {
+        b.iter(|| s.get_pdf(&q, 0.0, 10.0, 9).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_effectiveness,
+    scale_up,
+    io_vs_total,
+    field_breakdown,
+    pdf_query
+);
+criterion_main!(benches);

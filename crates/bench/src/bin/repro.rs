@@ -1,0 +1,544 @@
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//!
+//! ```sh
+//! cargo run --release -p tdb-bench --bin repro           # everything
+//! cargo run --release -p tdb-bench --bin repro -- table1 # one experiment
+//! TDB_GRID=256 cargo run --release -p tdb-bench --bin repro
+//! ```
+//!
+//! Experiments: `fig2 fig3 fig4 table1 fig7a fig7b fig8 fig9 local`.
+//! Absolute numbers differ from the paper (simulated cluster, smaller
+//! grid); EXPERIMENTS.md records the paper-vs-measured comparison.
+
+use std::collections::BTreeMap;
+
+use tdb_wire::Json;
+
+use tdb_analysis::{fof_clusters_4d, SpaceTimePoint};
+use tdb_cluster::ClusterConfig;
+use tdb_core::baseline::local_evaluation_estimate;
+use tdb_core::{DerivedField, QueryMode, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_storage::DeviceProfile;
+use tdb_turbgen::SyntheticDataset;
+
+/// The paper's threshold selectivities on the MHD dataset: fractions of
+/// all grid points above thresholds 80 / 60 / 44 (≈4 300, 87 000 and
+/// 909 000 points of 1024³).
+const FRACTIONS: [(f64, &str, f64); 3] = [
+    (3.95e-6, "high (80.0)", 80.0),
+    (8.06e-5, "medium (60.0)", 60.0),
+    (8.47e-4, "low (44.0)", 44.0),
+];
+
+struct Repro {
+    service: TurbulenceService,
+    grid_n: usize,
+    timesteps: u32,
+    /// threshold per selectivity tier, per (field, derived)
+    thresholds: BTreeMap<(String, String), [f64; 3]>,
+    /// machine-readable results, written to repro_results.json
+    results: Vec<Json>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        vec![
+            "fig2", "fig3", "fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "local", "hitratio",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let grid_n: usize = std::env::var("TDB_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let timesteps: u32 = if wanted.contains(&"fig3") { 8 } else { 2 };
+
+    println!("== ThresholDB paper reproduction ==");
+    println!("grid {grid_n}³ MHD-like dataset, {timesteps} time-steps, 4 nodes x 4 arrays\n");
+    let t0 = std::time::Instant::now();
+    let service = build_service(grid_n, timesteps, 4, "repro_main");
+    println!(
+        "archive built and bulk-loaded in {:.1}s\n",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut repro = Repro {
+        service,
+        grid_n,
+        timesteps,
+        thresholds: BTreeMap::new(),
+        results: Vec::new(),
+    };
+    for exp in wanted {
+        let t = std::time::Instant::now();
+        match exp {
+            "fig2" => repro.fig2(),
+            "fig3" => repro.fig3(),
+            "fig4" => repro.fig4(),
+            "table1" | "fig6" => repro.table1(),
+            "fig7a" => repro.fig7a(),
+            "fig7b" => repro.fig7b(),
+            "fig8" => repro.fig8(),
+            "fig9" => repro.fig9(),
+            "local" => repro.local(),
+            "hitratio" => repro.hitratio(),
+            other => eprintln!("unknown experiment '{other}', skipping"),
+        }
+        repro.results.push(Json::obj([
+            ("experiment", Json::Str(exp.to_string())),
+            ("harness_wall_s", Json::Num(t.elapsed().as_secs_f64())),
+        ]));
+    }
+    // persist every recorded measurement for downstream analysis
+    let doc = Json::obj([
+        ("grid", Json::Num(grid_n as f64)),
+        ("timesteps", Json::Num(f64::from(timesteps))),
+        ("results", Json::Arr(repro.results.clone())),
+    ]);
+    let path = "repro_results.json";
+    if let Err(e) = std::fs::write(path, doc.encode()) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("(machine-readable results written to {path})");
+    }
+}
+
+fn build_service(grid_n: usize, timesteps: u32, nodes: usize, tag: &str) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(grid_n, timesteps, 0x7db2015),
+        cluster: ClusterConfig {
+            num_nodes: nodes,
+            procs_per_node: 4,
+            arrays_per_node: 4,
+            chunk_atoms: if grid_n >= 128 { 4 } else { 2 },
+            // stand-in for the 2.66 GHz 2008-era nodes (EXPERIMENTS.md)
+            compute_scale: 6.0,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: std::env::temp_dir().join(format!("thresholdb_{tag}_{grid_n}")),
+    };
+    TurbulenceService::build(config).expect("service build")
+}
+
+impl Repro {
+    /// Thresholds matching the paper's three selectivity tiers.
+    fn tiers(&mut self, raw: &str, derived: DerivedField) -> [f64; 3] {
+        let key = (raw.to_string(), derived.name());
+        if let Some(t) = self.thresholds.get(&key) {
+            return *t;
+        }
+        let t = std::array::from_fn(|i| {
+            self.service
+                .threshold_for_fraction(raw, derived, 0, FRACTIONS[i].0)
+                .expect("threshold")
+        });
+        self.thresholds.insert(key, t);
+        t
+    }
+
+    fn cold_query(&self, q: &ThresholdQuery) -> tdb_core::ThresholdResult {
+        self.service.cluster().clear_buffer_pools();
+        self.service.get_threshold(q).expect("query")
+    }
+
+    // --- Figure 2: PDF of the vorticity norm -----------------------------
+    fn fig2(&mut self) {
+        println!("---- Figure 2: PDF of the vorticity norm (one time-step) ----");
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 0.0);
+        let pdf = self.service.get_pdf(&q, 0.0, 10.0, 9).expect("pdf");
+        println!("{:>10} | {:>12} | log10", "bin", "points");
+        for i in 0..=pdf.histogram.nbins() {
+            let (lo, hi) = pdf.histogram.bin_range(i);
+            let label = if hi.is_infinite() {
+                format!("[{lo:.0},..)")
+            } else {
+                format!("[{lo:.0},{hi:.0})")
+            };
+            let c = pdf.histogram.count(i);
+            let log = if c > 0 {
+                (c as f64).log10()
+            } else {
+                f64::NEG_INFINITY
+            };
+            println!("{label:>10} | {c:>12} | {log:5.2}");
+        }
+        println!("paper shape: monotone log-decay from ~1e9 to ~1e1 over bins [0,10)..[90,..)\n");
+    }
+
+    // --- Figure 3: 4-D FoF cluster of the most intense event --------------
+    fn fig3(&mut self) {
+        println!("---- Figure 3: 4-D cluster containing the most intense event ----");
+        let [_, _, low] = self.tiers("velocity", DerivedField::CurlNorm);
+        let mut spacetime: Vec<SpaceTimePoint> = Vec::new();
+        for t in 0..self.timesteps {
+            let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, t, low);
+            let r = self.service.get_threshold(&q).expect("query");
+            spacetime.extend(
+                r.points
+                    .iter()
+                    .map(|&point| SpaceTimePoint { timestep: t, point }),
+            );
+        }
+        let dims = {
+            let (nx, ny, nz) = self.service.dataset().grid.dims();
+            (nx as u32, ny as u32, nz as u32)
+        };
+        let clusters = fof_clusters_4d(&spacetime, dims, 2, 1);
+        println!(
+            "{} space-time points clustered into {} 4-D clusters",
+            spacetime.len(),
+            clusters.len()
+        );
+        let c = &clusters[0];
+        println!(
+            "most intense event: |ω| = {:.1} at {:?}, t = {} — cluster of {} points spanning {} steps",
+            c.peak_value, c.peak_location, c.peak_timestep, c.size, c.timespan
+        );
+        let per_step: Vec<usize> = (0..self.timesteps)
+            .map(|t| {
+                c.members
+                    .iter()
+                    .filter(|&&m| spacetime[m].timestep == t)
+                    .count()
+            })
+            .collect();
+        println!("members per time-step: {per_step:?}");
+        println!("paper shape: the strongest cluster develops over several steps and interacts with multiple worms\n");
+    }
+
+    // --- Figure 4: points above 7x RMS ------------------------------------
+    fn fig4(&mut self) {
+        println!("---- Figure 4: points above multiples of the vorticity RMS ----");
+        let stats = self
+            .service
+            .derived_stats("velocity", DerivedField::CurlNorm, 0)
+            .expect("stats");
+        let total = self.service.dataset().grid.num_points() as f64;
+        println!(
+            "vorticity rms = {:.2}, max = {:.2} ({:.1}x rms)",
+            stats.rms,
+            stats.max,
+            stats.max / stats.rms
+        );
+        for k in [7.0, 8.0] {
+            let q = ThresholdQuery::whole_timestep(
+                "velocity",
+                DerivedField::CurlNorm,
+                0,
+                k * stats.rms,
+            );
+            let r = self.service.get_threshold(&q).expect("query");
+            println!(
+                "|ω| >= {k}x rms: {} points ({:.5}% of grid)",
+                r.points.len(),
+                100.0 * r.points.len() as f64 / total
+            );
+        }
+        println!(
+            "paper: 2.4e5 points above 7x rms, 2.6e5 above 8x rms (0.022% / 0.024% of 1024³)\n"
+        );
+    }
+
+    // --- Table 1 / Figure 6: cache effectiveness ---------------------------
+    fn table1(&mut self) {
+        println!("---- Table 1 / Figure 6: effectiveness of caching ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        println!(
+            "{:>14} | {:>9} | {:>12} | {:>12} | {:>12}",
+            "tier", "points", "no cache (s)", "miss (s)", "hit (s)"
+        );
+        for (i, (frac, label, _)) in FRACTIONS.iter().enumerate() {
+            let k = tiers[i];
+            let mk = |use_cache: bool| {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k);
+                if use_cache {
+                    q
+                } else {
+                    q.without_cache()
+                }
+            };
+            // no cache
+            let no_cache = avg(3, || self.cold_query(&mk(false)).breakdown.total_s());
+            // cache miss: drop the entry before each run (paper protocol)
+            let miss = avg(3, || {
+                self.service.cluster().invalidate_cache_entry(
+                    "velocity",
+                    DerivedField::CurlNorm,
+                    0,
+                );
+                self.cold_query(&mk(true)).breakdown.total_s()
+            });
+            // cache hit: warm once, then measure
+            let warm = self.service.get_threshold(&mk(true)).expect("warm");
+            let npoints = warm.points.len();
+            let hit = avg(3, || {
+                self.service
+                    .get_threshold(&mk(true))
+                    .expect("hit")
+                    .breakdown
+                    .total_s()
+            });
+            println!("{label:>14} | {npoints:>9} | {no_cache:>12.3} | {miss:>12.3} | {hit:>12.3}");
+            self.results.push(Json::obj([
+                ("experiment", Json::Str("table1".into())),
+                ("tier", Json::Str(label.to_string())),
+                ("selectivity", Json::Num(*frac)),
+                ("points", Json::Num(npoints as f64)),
+                ("no_cache_s", Json::Num(no_cache)),
+                ("miss_s", Json::Num(miss)),
+                ("hit_s", Json::Num(hit)),
+            ]));
+        }
+        println!("paper (1024³, 4 nodes): 97.1/100.2/0.5  113.7/115.9/1.2  111.6/115.0/9.1 s");
+        println!("shape: miss ≈ no-cache (probe overhead <3%), hit >10x faster");
+        println!(
+            "note: at {0}³ the user round-trip floors the hit column; the server-side",
+            self.grid_n
+        );
+        println!("      (cache+io+compute) hit/miss ratio and larger grids (TDB_GRID=256)");
+        println!("      recover the paper's >10x end-to-end gap\n");
+    }
+
+    // --- Figure 7(a): scale-up ---------------------------------------------
+    fn fig7a(&mut self) {
+        println!("---- Figure 7(a): scale-up, 1-8 processes per node (4 nodes) ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        println!(
+            "{:>14} | {:>7} | {:>7} | {:>7} | {:>7}",
+            "tier", "p=1", "p=2", "p=4", "p=8"
+        );
+        for (i, (_, label, _)) in FRACTIONS.iter().enumerate() {
+            let k = tiers[i];
+            let mut times = Vec::new();
+            for procs in [1usize, 2, 4, 8] {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+                    .without_cache()
+                    .with_procs(procs);
+                let b = self.cold_query(&q).breakdown;
+                times.push(b.io_s + b.compute_s);
+            }
+            let s: Vec<String> = times
+                .iter()
+                .map(|t| format!("{:.2}x", times[0] / t))
+                .collect();
+            println!(
+                "{label:>14} | {:>7} | {:>7} | {:>7} | {:>7}",
+                s[0], s[1], s[2], s[3]
+            );
+        }
+        println!("paper: ≈2x at p=2, ≈2.6x at p=4, little further gain at p=8\n");
+    }
+
+    // --- Figure 7(b): scale-out --------------------------------------------
+    fn fig7b(&mut self) {
+        println!("---- Figure 7(b): scale-out, 1-8 nodes (1 process per node) ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        // smaller grid per-cluster build cost: reuse main grid but build
+        // separate clusters with 1, 2, 4, 8 nodes
+        let mut services = Vec::new();
+        for nodes in [1usize, 2, 4, 8] {
+            services.push((
+                nodes,
+                build_service(self.grid_n, 1, nodes, &format!("repro_so{nodes}")),
+            ));
+        }
+        println!(
+            "{:>14} | {:>7} | {:>7} | {:>7} | {:>7}",
+            "tier", "n=1", "n=2", "n=4", "n=8"
+        );
+        for (i, (_, label, _)) in FRACTIONS.iter().enumerate() {
+            let k = tiers[i];
+            let mut times = Vec::new();
+            for (_, svc) in &services {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+                    .without_cache()
+                    .with_procs(1);
+                svc.cluster().clear_buffer_pools();
+                let b = svc.get_threshold(&q).expect("query").breakdown;
+                times.push(b.io_s + b.compute_s);
+            }
+            let s: Vec<String> = times
+                .iter()
+                .map(|t| format!("{:.2}x", times[0] / t))
+                .collect();
+            println!(
+                "{label:>14} | {:>7} | {:>7} | {:>7} | {:>7}",
+                s[0], s[1], s[2], s[3]
+            );
+        }
+        println!("paper: nearly perfect linear speedup\n");
+    }
+
+    // --- Figure 8: total vs I/O-only ----------------------------------------
+    fn fig8(&mut self) {
+        println!("---- Figure 8: total running time vs I/O-only (medium threshold) ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        let k = tiers[1];
+        println!(
+            "{:>6} | {:>10} | {:>10} | {:>6}",
+            "procs", "total (s)", "io-only (s)", "io %"
+        );
+        for procs in [1usize, 2, 4, 8] {
+            let full = {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+                    .without_cache()
+                    .with_procs(procs);
+                let b = self.cold_query(&q).breakdown;
+                b.io_s + b.compute_s
+            };
+            let io_only = {
+                let q = ThresholdQuery {
+                    mode: QueryMode::IoOnly,
+                    ..ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, k)
+                        .without_cache()
+                        .with_procs(procs)
+                };
+                let b = self.cold_query(&q).breakdown;
+                b.io_s
+            };
+            println!(
+                "{procs:>6} | {full:>10.3} | {io_only:>10.3} | {:>5.0}%",
+                100.0 * io_only / full
+            );
+            self.results.push(Json::obj([
+                ("experiment", Json::Str("fig8".into())),
+                ("procs", Json::Num(procs as f64)),
+                ("total_s", Json::Num(full)),
+                ("io_only_s", Json::Num(io_only)),
+            ]));
+        }
+        println!("paper: I/O ≈ half of total at p=1; total at p=4-8 ≈ I/O-only at p=1\n");
+    }
+
+    // --- Figure 9: per-field breakdowns --------------------------------------
+    fn fig9(&mut self) {
+        println!("---- Figure 9: execution-time breakdown by field and threshold ----");
+        let fields: [(&str, DerivedField, &str); 3] = [
+            ("velocity", DerivedField::CurlNorm, "vorticity"),
+            ("velocity", DerivedField::QCriterion, "Q-criterion"),
+            ("magnetic", DerivedField::Norm, "magnetic (raw)"),
+        ];
+        for (raw, derived, label) in fields {
+            let tiers = self.tiers(raw, derived);
+            println!("\n  [{label}] cold (cache miss) runs:");
+            println!(
+                "  {:>14} | {:>8} | {:>8} | {:>8} | {:>8} | {:>8} | {:>8}",
+                "tier", "points", "cache", "io", "compute", "med-db", "med-user"
+            );
+            for (i, (_, tier_label, _)) in FRACTIONS.iter().enumerate() {
+                let q = ThresholdQuery::whole_timestep(raw, derived, 0, tiers[i]);
+                self.service
+                    .cluster()
+                    .invalidate_cache_entry(raw, derived, 0);
+                let r = self.cold_query(&q);
+                let b = r.breakdown;
+                println!(
+                    "  {tier_label:>14} | {:>8} | {:>8.4} | {:>8.3} | {:>8.3} | {:>8.4} | {:>8.4}",
+                    r.points.len(),
+                    b.cache_lookup_s,
+                    b.io_s,
+                    b.compute_s,
+                    b.mediator_db_s,
+                    b.mediator_user_s
+                );
+            }
+            println!("  [{label}] warm (cache hit) runs:");
+            for (i, (_, tier_label, _)) in FRACTIONS.iter().enumerate() {
+                let q = ThresholdQuery::whole_timestep(raw, derived, 0, tiers[i]);
+                let r = self.service.get_threshold(&q).expect("query");
+                let b = r.breakdown;
+                println!(
+                    "  {tier_label:>14} | {:>8} | {:>8.4} | {:>8.3} | {:>8.3} | {:>8.4} | {:>8.4}",
+                    r.points.len(),
+                    b.cache_lookup_s,
+                    b.io_s,
+                    b.compute_s,
+                    b.mediator_db_s,
+                    b.mediator_user_s
+                );
+            }
+        }
+        println!("\npaper shapes: Q-criterion compute > vorticity compute; raw field ≈ no compute and less I/O (no halo);");
+        println!("hits dominated by result transfer; cache lookup negligible in all cases\n");
+    }
+
+    // --- §5.2: hit ratio of a structured exploration workload -----------------
+    fn hitratio(&mut self) {
+        println!("---- §5.2: cache-hit ratio of a structured workload ----");
+        // "queries tend to examine the same regions in space and time":
+        // a scientist sweeps thresholds downward-then-upward over a few
+        // time-steps and fields, revisiting the interesting ones
+        self.service.cluster().clear_caches();
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        let steps: Vec<u32> = (0..self.timesteps.min(2)).collect();
+        let mut issued = 0u32;
+        for &t in &steps {
+            for k in [tiers[2], tiers[1], tiers[0], tiers[1], tiers[2], tiers[0]] {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, t, k);
+                self.service.get_threshold(&q).expect("query");
+                issued += 1;
+            }
+            // revisit the most interesting step with the PDF first
+            let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, t, 0.0);
+            self.service.get_pdf(&q, 0.0, 10.0, 9).expect("pdf");
+            self.service.get_pdf(&q, 0.0, 10.0, 9).expect("pdf");
+            issued += 2;
+        }
+        let stats = self.service.cluster().cache_stats();
+        let ratio = stats.hit_ratio().unwrap_or(0.0);
+        println!(
+            "{issued} queries issued → {} hits / {} misses per node-subquery (ratio {:.0}%)",
+            stats.hits,
+            stats.misses,
+            ratio * 100.0
+        );
+        println!("paper: \"fairly high cache-hit ratios as the workload is very structured\"\n");
+        self.results.push(Json::obj([
+            ("experiment", Json::Str("hitratio".into())),
+            ("queries", Json::Num(f64::from(issued))),
+            ("hits", Json::Num(stats.hits as f64)),
+            ("misses", Json::Num(stats.misses as f64)),
+            ("ratio", Json::Num(ratio)),
+        ]));
+    }
+
+    // --- §5.3: local evaluation baseline --------------------------------------
+    fn local(&mut self) {
+        println!("---- §5.3: integrated evaluation vs local (client-side) evaluation ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, tiers[1])
+            .without_cache();
+        let integrated = self.cold_query(&q);
+        let full = self.service.full_box();
+        let report = local_evaluation_estimate(
+            self.service.cluster(),
+            "velocity",
+            DerivedField::CurlNorm,
+            0,
+            &full,
+            64,
+            &DeviceProfile::user_wan(),
+        );
+        let integrated_total = integrated.breakdown.total_s();
+        println!("integrated (server-side): {integrated_total:.2}s modelled");
+        println!(
+            "local evaluation: {} subqueries, {:.1} GB download ({} gradient components, XML-wrapped)",
+            report.num_subqueries,
+            report.download_bytes as f64 / 1e9,
+            report.ncomp_shipped
+        );
+        println!(
+            "local evaluation total: {:.1}s modelled = {:.0}x slower (paper: 20+ hours vs ~2 minutes, ≈600x)",
+            report.total_s,
+            report.total_s / integrated_total
+        );
+        println!();
+    }
+}
+
+fn avg(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..n).map(|_| f()).sum::<f64>() / n as f64
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the benchmark harness, repo-level integration tests
+//! and examples.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tdb_cluster::ClusterConfig;
+use tdb_core::{ServiceConfig, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("thresholdb_{tag}_{}_{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Builds a small MHD service for tests: `n`-cube grid, `timesteps` steps,
+/// `nodes` database nodes.
+pub fn test_service(tag: &str, n: usize, timesteps: u32, nodes: usize) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(n, timesteps, 0x7db),
+        cluster: ClusterConfig {
+            num_nodes: nodes,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("service build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique() {
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b);
+        assert!(a.exists() && b.exists());
+    }
+}

@@ -1,0 +1,27 @@
+//! The application-aware semantic cache for threshold-query results.
+//!
+//! "Rather than caching just data ... we cache query results along with
+//! query metadata and subsequent queries are evaluated against the cache"
+//! (paper §1). Each database node owns a local cache made of two tables
+//! residing on its SSD:
+//!
+//! * `cacheInfo` — per (dataset, field, time-step): the spatial region
+//!   examined, the threshold used, and bookkeeping (ordinal, LRU stamp),
+//! * `cacheData` — per ordinal: every grid point whose field norm exceeded
+//!   the stored threshold, keyed by the point's Morton code.
+//!
+//! A query hits iff an entry exists for its (dataset, field, time-step),
+//! the requested threshold is **at or above** the stored one, and the query
+//! box lies inside the stored region (Algorithm 1, line 12). Hits are
+//! answered by an index-range scan of `cacheData` filtered by box and
+//! threshold. Misses are recomputed from raw data and the entry replaced.
+//! Both paths run as snapshot-isolation transactions ([`tdb_storage::mvcc`])
+//! and eviction is least-recently-used across all quantities.
+
+pub mod pdf;
+pub mod semantic;
+pub mod stats;
+
+pub use pdf::{PdfCache, PdfKey, PdfLookup};
+pub use semantic::{CacheConfig, CacheInfoKey, CacheLookup, SemanticCache, ThresholdPoint};
+pub use stats::CacheStats;

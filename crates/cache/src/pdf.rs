@@ -1,0 +1,274 @@
+//! Caching PDF (histogram) query results.
+//!
+//! "Nevertheless, it [the cache] can easily be extended to cache the
+//! results of other query types as well if that becomes advantageous"
+//! (paper §4). PDFs are natural candidates: like threshold queries they
+//! scan a whole time-step, their results are tiny, and scientists consult
+//! them repeatedly to pick thresholds (Fig. 2). Unlike threshold results
+//! a histogram cannot be filtered to a sub-region or re-binned, so a hit
+//! requires the *exact* region and binning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use tdb_storage::device::{DeviceId, IoSession};
+use tdb_storage::mvcc::MvccStore;
+use tdb_zorder::Box3;
+
+use crate::semantic::CacheInfoKey;
+use crate::stats::CacheStats;
+
+/// Key of a cached PDF: the quantity plus the exact binning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PdfKey {
+    pub base: CacheInfoKey,
+    /// Bit patterns of the f64 binning parameters (exact match).
+    pub origin_bits: u64,
+    pub width_bits: u64,
+    pub nbins: u32,
+}
+
+impl PdfKey {
+    /// Builds a key from the query parameters.
+    pub fn new(base: CacheInfoKey, origin: f64, width: f64, nbins: u32) -> Self {
+        Self {
+            base,
+            origin_bits: origin.to_bits(),
+            width_bits: width.to_bits(),
+            nbins,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PdfEntry {
+    region: Box3,
+    counts: Vec<u64>,
+    last_used: u64,
+}
+
+fn entry_bytes(nbins: usize) -> u64 {
+    96 + nbins as u64 * 8
+}
+
+/// Result of a PDF-cache probe.
+#[derive(Debug, Clone)]
+pub enum PdfLookup {
+    Hit(Vec<u64>),
+    Miss,
+}
+
+/// Per-node cache of histogram results, sharing the node's SSD.
+pub struct PdfCache {
+    store: MvccStore<PdfKey, PdfEntry>,
+    ssd: DeviceId,
+    budget_bytes: u64,
+    lru_clock: AtomicU64,
+    stats: Mutex<CacheStats>,
+}
+
+impl PdfCache {
+    /// Empty cache with a byte budget on the node's SSD.
+    pub fn new(ssd: DeviceId, budget_bytes: u64) -> Self {
+        Self {
+            store: MvccStore::new(),
+            ssd,
+            budget_bytes,
+            lru_clock: AtomicU64::new(1),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.lru_clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Probes for a histogram over exactly `region` with exactly this
+    /// binning.
+    pub fn lookup(&self, key: &PdfKey, region: &Box3, session: &mut IoSession) -> PdfLookup {
+        let txn = self.store.begin();
+        session.charge(self.ssd, 1, entry_bytes(key.nbins as usize));
+        match txn.get(key) {
+            Some(entry) if entry.region == *region => {
+                // best-effort LRU bump
+                let mut bump = self.store.begin();
+                if let Some(mut e) = bump.get(key) {
+                    e.last_used = self.tick();
+                    bump.put(key.clone(), e);
+                    let _ = bump.commit();
+                }
+                self.stats.lock().hits += 1;
+                PdfLookup::Hit(entry.counts)
+            }
+            _ => {
+                self.stats.lock().misses += 1;
+                PdfLookup::Miss
+            }
+        }
+    }
+
+    /// Stores a freshly computed histogram, evicting LRU entries to fit.
+    pub fn insert(&self, key: &PdfKey, region: Box3, counts: Vec<u64>, session: &mut IoSession) {
+        let new_bytes = entry_bytes(counts.len());
+        session.charge(self.ssd, 1, new_bytes);
+        let mut txn = self.store.begin();
+        let mut live: Vec<(PdfKey, PdfEntry)> = txn
+            .range(..)
+            .into_iter()
+            .filter(|(k, _)| k != key)
+            .collect();
+        live.sort_by_key(|(_, e)| e.last_used);
+        let mut used: u64 = live.iter().map(|(_, e)| entry_bytes(e.counts.len())).sum();
+        let mut victims = live.into_iter();
+        let mut evictions = 0;
+        while used + new_bytes > self.budget_bytes {
+            let Some((vk, ve)) = victims.next() else {
+                break;
+            };
+            used -= entry_bytes(ve.counts.len());
+            txn.delete(vk);
+            evictions += 1;
+        }
+        txn.put(
+            key.clone(),
+            PdfEntry {
+                region,
+                counts,
+                last_used: self.tick(),
+            },
+        );
+        if txn.commit().is_ok() {
+            let mut s = self.stats.lock();
+            s.inserts += 1;
+            s.evictions += evictions;
+        } else {
+            self.stats.lock().conflicts += 1;
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut txn = self.store.begin();
+        for (k, _) in txn.range(..) {
+            txn.delete(k);
+        }
+        let _ = txn.commit();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no histograms are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_storage::device::{DeviceProfile, DeviceRegistry};
+
+    fn key(ts: u32, nbins: u32) -> PdfKey {
+        PdfKey::new(
+            CacheInfoKey {
+                dataset: "mhd".into(),
+                field: "velocity/curl_norm".into(),
+                timestep: ts,
+            },
+            0.0,
+            10.0,
+            nbins,
+        )
+    }
+
+    fn mk() -> (PdfCache, DeviceRegistry) {
+        let mut reg = DeviceRegistry::new();
+        let ssd = reg.register(DeviceProfile::ssd());
+        (PdfCache::new(ssd, 4096), reg)
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let (cache, _) = mk();
+        let mut s = IoSession::new();
+        let region = Box3::cube(32);
+        let k = key(0, 10);
+        assert!(matches!(cache.lookup(&k, &region, &mut s), PdfLookup::Miss));
+        cache.insert(&k, region, vec![5, 4, 3], &mut s);
+        match cache.lookup(&k, &region, &mut s) {
+            PdfLookup::Hit(counts) => assert_eq!(counts, vec![5, 4, 3]),
+            PdfLookup::Miss => panic!("expected hit"),
+        }
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn binning_and_region_must_match_exactly() {
+        let (cache, _) = mk();
+        let mut s = IoSession::new();
+        let region = Box3::cube(32);
+        cache.insert(&key(0, 10), region, vec![1; 11], &mut s);
+        // different bin count
+        assert!(matches!(
+            cache.lookup(&key(0, 20), &region, &mut s),
+            PdfLookup::Miss
+        ));
+        // different origin
+        let mut k2 = key(0, 10);
+        k2.origin_bits = 1.0f64.to_bits();
+        assert!(matches!(
+            cache.lookup(&k2, &region, &mut s),
+            PdfLookup::Miss
+        ));
+        // different region
+        let sub = Box3::cube(16);
+        assert!(matches!(
+            cache.lookup(&key(0, 10), &sub, &mut s),
+            PdfLookup::Miss
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        let mut reg = DeviceRegistry::new();
+        let ssd = reg.register(DeviceProfile::ssd());
+        // room for ~2 entries of 10 bins
+        let cache = PdfCache::new(ssd, 2 * entry_bytes(11) + 8);
+        let mut s = IoSession::new();
+        let region = Box3::cube(8);
+        cache.insert(&key(0, 10), region, vec![0; 11], &mut s);
+        cache.insert(&key(1, 10), region, vec![0; 11], &mut s);
+        // touch 0, insert 2 → 1 is evicted
+        let _ = cache.lookup(&key(0, 10), &region, &mut s);
+        cache.insert(&key(2, 10), region, vec![0; 11], &mut s);
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(
+            cache.lookup(&key(1, 10), &region, &mut s),
+            PdfLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup(&key(0, 10), &region, &mut s),
+            PdfLookup::Hit(_)
+        ));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let (cache, _) = mk();
+        let mut s = IoSession::new();
+        cache.insert(&key(0, 10), Box3::cube(8), vec![1; 11], &mut s);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

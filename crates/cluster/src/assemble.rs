@@ -1,0 +1,215 @@
+//! Assembling padded computation domains from atom records.
+//!
+//! "The data are read into memory and the particular field requested is
+//! computed at each of the locations on the grid" (paper §4). A chunk's
+//! computation domain is its grid box clipped to the query box, dilated by
+//! the kernel half-width; this module figures out which atoms cover that
+//! dilated box (wrapping on periodic axes) and scatters their payloads
+//! into a [`PaddedVector`].
+
+use std::collections::HashMap;
+
+use tdb_field::PaddedVector;
+use tdb_storage::AtomRecord;
+use tdb_zorder::{AtomCoord, Box3, ATOM_WIDTH};
+
+/// Atoms (by zindex) covering `domain` dilated by `halo`, with periodic
+/// wrapping (or clamping on wall axes). Sorted and unique.
+pub fn needed_atoms(
+    domain: &Box3,
+    halo: usize,
+    dims: (usize, usize, usize),
+    periodic: [bool; 3],
+) -> Vec<AtomCoord> {
+    let w = ATOM_WIDTH as i64;
+    let n = [dims.0 as i64, dims.1 as i64, dims.2 as i64];
+    let mut axis_atoms: [Vec<i64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ax in 0..3 {
+        let lo = i64::from(domain.lo[ax]) - halo as i64;
+        let hi = i64::from(domain.hi[ax]) + halo as i64;
+        let mut set = std::collections::BTreeSet::new();
+        let mut g = lo;
+        while g <= hi {
+            let wrapped = if periodic[ax] {
+                g.rem_euclid(n[ax])
+            } else {
+                g.clamp(0, n[ax] - 1)
+            };
+            set.insert(wrapped / w);
+            // jump to the start of the next atom
+            g = (g.div_euclid(w) + 1) * w;
+        }
+        axis_atoms[ax] = set.into_iter().collect();
+    }
+    let mut out = Vec::new();
+    for &az in &axis_atoms[2] {
+        for &ay in &axis_atoms[1] {
+            for &ax in &axis_atoms[0] {
+                out.push(AtomCoord::new(ax as u32, ay as u32, az as u32));
+            }
+        }
+    }
+    out.sort_by_key(AtomCoord::zindex);
+    out.dedup();
+    out
+}
+
+/// Builds the padded input for a kernel over `domain` from fetched atoms.
+///
+/// `atoms` maps atom zindex → record; every atom returned by
+/// [`needed_atoms`] must be present. Scalar fields (ncomp = 1) land in
+/// component 0 of the padded vector.
+///
+/// # Panics
+/// Panics if a required atom is missing — the fetch layer failed.
+pub fn assemble_padded(
+    domain: &Box3,
+    halo: usize,
+    dims: (usize, usize, usize),
+    periodic: [bool; 3],
+    atoms: &HashMap<u64, AtomRecord>,
+) -> PaddedVector<3> {
+    let [ex, ey, ez] = domain.extent();
+    let (ex, ey, ez) = (ex as usize, ey as usize, ez as usize);
+    let mut padded = PaddedVector::zeros(ex, ey, ez, halo);
+    let n = [dims.0 as i64, dims.1 as i64, dims.2 as i64];
+    let h = halo as isize;
+    let mut cached: Option<(AtomCoord, &AtomRecord)> = None;
+    for z in -h..(ez as isize + h) {
+        for y in -h..(ey as isize + h) {
+            for x in -h..(ex as isize + h) {
+                let mut g = [0u32; 3];
+                for (ax, local) in [x, y, z].into_iter().enumerate() {
+                    let raw = i64::from(domain.lo[ax]) + local as i64;
+                    g[ax] = if periodic[ax] {
+                        raw.rem_euclid(n[ax]) as u32
+                    } else {
+                        raw.clamp(0, n[ax] - 1) as u32
+                    };
+                }
+                let atom = AtomCoord::containing(g[0], g[1], g[2]);
+                let rec = match cached {
+                    Some((a, r)) if a == atom => r,
+                    _ => {
+                        let r = atoms
+                            .get(&atom.zindex())
+                            .unwrap_or_else(|| panic!("missing atom {atom:?}"));
+                        cached = Some((atom, r));
+                        r
+                    }
+                };
+                let off = atom
+                    .point_offset(g[0], g[1], g[2])
+                    .expect("point within its atom");
+                for c in 0..usize::from(rec.ncomp).min(3) {
+                    padded.comp_mut(c).set(x, y, z, rec.plane(c)[off]);
+                }
+            }
+        }
+    }
+    padded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_storage::AtomKey;
+    use tdb_zorder::ATOM_POINTS;
+
+    /// Builds an atom map over a whole grid where component `c` at global
+    /// point (x,y,z) stores `c*1e6 + x + 10y + 100z`.
+    fn atom_map(dims: (usize, usize, usize), ncomp: u8) -> HashMap<u64, AtomRecord> {
+        let mut out = HashMap::new();
+        for az in 0..(dims.2 / ATOM_WIDTH) as u32 {
+            for ay in 0..(dims.1 / ATOM_WIDTH) as u32 {
+                for ax in 0..(dims.0 / ATOM_WIDTH) as u32 {
+                    let atom = AtomCoord::new(ax, ay, az);
+                    let mut data = vec![0.0f32; usize::from(ncomp) * ATOM_POINTS];
+                    for (gx, gy, gz) in atom.grid_points() {
+                        let off = atom.point_offset(gx, gy, gz).unwrap();
+                        for c in 0..usize::from(ncomp) {
+                            data[c * ATOM_POINTS + off] =
+                                (c as f32) * 1e6 + (gx + 10 * gy + 100 * gz) as f32;
+                        }
+                    }
+                    out.insert(
+                        atom.zindex(),
+                        AtomRecord::new(AtomKey::new(0, atom.zindex()), ncomp, data).unwrap(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn needed_atoms_interior_no_halo() {
+        let domain = Box3::new([8, 8, 8], [15, 15, 15]);
+        let atoms = needed_atoms(&domain, 0, (32, 32, 32), [true; 3]);
+        assert_eq!(atoms, vec![AtomCoord::new(1, 1, 1)]);
+    }
+
+    #[test]
+    fn needed_atoms_with_halo_spans_neighbours() {
+        let domain = Box3::new([8, 8, 8], [15, 15, 15]);
+        let atoms = needed_atoms(&domain, 2, (32, 32, 32), [true; 3]);
+        assert_eq!(atoms.len(), 27, "3x3x3 atom neighbourhood");
+    }
+
+    #[test]
+    fn needed_atoms_wraps_periodically() {
+        let domain = Box3::new([0, 0, 0], [7, 7, 7]);
+        let atoms = needed_atoms(&domain, 1, (32, 32, 32), [true; 3]);
+        // neighbours at -1 wrap to lattice coordinate 3
+        assert!(atoms.contains(&AtomCoord::new(3, 0, 0)));
+        assert!(atoms.contains(&AtomCoord::new(3, 3, 3)));
+        assert_eq!(atoms.len(), 27);
+    }
+
+    #[test]
+    fn needed_atoms_clamps_on_walls() {
+        let domain = Box3::new([0, 0, 0], [7, 7, 7]);
+        let atoms = needed_atoms(&domain, 1, (32, 32, 32), [true, false, true]);
+        // y neighbours clamp to the wall: only y-lattice 0 and 1 appear
+        assert!(atoms.iter().all(|a| a.y <= 1));
+        assert_eq!(atoms.len(), 3 * 2 * 3);
+    }
+
+    #[test]
+    fn assemble_matches_source_values() {
+        let dims = (32, 32, 32);
+        let atoms = atom_map(dims, 3);
+        let domain = Box3::new([8, 16, 8], [15, 23, 15]);
+        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms);
+        // interior point
+        let v = p.at(0, 0, 0);
+        assert_eq!(v[0], (8 + 160 + 800) as f32);
+        assert_eq!(v[1], 1e6 + 968.0);
+        // halo point wraps/reads neighbour atoms
+        let v = p.at(-2, -1, 7);
+        assert_eq!(v[0], (6 + 10 * 15 + 100 * 15) as f32);
+    }
+
+    #[test]
+    fn assemble_periodic_wrap_at_edge() {
+        let dims = (16, 16, 16);
+        let atoms = atom_map(dims, 1);
+        let domain = Box3::new([8, 8, 8], [15, 15, 15]);
+        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms);
+        // ghost at local x = 8 (global 16) wraps to x = 0
+        assert_eq!(p.at(8, 0, 0)[0], (80 + 800) as f32);
+        // scalar input: components 1, 2 stay zero
+        assert_eq!(p.at(0, 0, 0)[1], 0.0);
+        assert_eq!(p.at(0, 0, 0)[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing atom")]
+    fn assemble_panics_on_missing_atom() {
+        let dims = (16, 16, 16);
+        let mut atoms = atom_map(dims, 1);
+        atoms.remove(&AtomCoord::new(0, 0, 0).zindex());
+        let domain = Box3::new([0, 0, 0], [7, 7, 7]);
+        let _ = assemble_padded(&domain, 0, dims, [true; 3], &atoms);
+    }
+}

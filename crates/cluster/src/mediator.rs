@@ -1,0 +1,675 @@
+//! The Web-server / mediator and cluster assembly.
+//!
+//! "Each request is broken down into multiple parts based on the spatial
+//! layout of the data. Each part is asynchronously submitted for
+//! evaluation to the database which stores the data needed ... The
+//! Web-server assembles the results from the distributed computation and
+//! sends them back to the client." (paper §2)
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tdb_cache::{CacheStats, ThresholdPoint};
+use tdb_field::{Grid3, Histogram, VectorField};
+use tdb_kernels::{DerivedField, DiffScheme};
+use tdb_storage::device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
+use tdb_storage::{AtomKey, AtomRecord, BlockCache, StorageResult, TableBuilder};
+use tdb_zorder::{AtomCoord, Box3, ZRange};
+
+use crate::config::ClusterConfig;
+use crate::node::{NodeResult, NodeRuntime, QueryMode, ThresholdSubquery};
+use crate::placement::Layout;
+use crate::timing::TimeBreakdown;
+use crate::wire;
+
+/// A threshold query as the mediator receives it.
+#[derive(Debug, Clone)]
+pub struct ThresholdRequest {
+    pub raw_field: String,
+    pub derived: DerivedField,
+    pub timestep: u32,
+    pub query_box: Box3,
+    pub threshold: f64,
+    pub use_cache: bool,
+    pub mode: QueryMode,
+    /// Worker processes per node; defaults to the cluster configuration.
+    pub procs_override: Option<usize>,
+}
+
+/// Assembled answer of a threshold query.
+#[derive(Debug)]
+pub struct ThresholdResponse {
+    pub points: Vec<ThresholdPoint>,
+    pub breakdown: TimeBreakdown,
+    /// How many nodes answered from their cache.
+    pub cache_hits: usize,
+    pub nodes: usize,
+    /// Real wall-clock of the in-process evaluation.
+    pub wall_s: f64,
+}
+
+/// Assembled answer of a PDF query.
+#[derive(Debug)]
+pub struct PdfResponse {
+    pub histogram: Histogram,
+    pub breakdown: TimeBreakdown,
+    pub wall_s: f64,
+}
+
+/// Assembled answer of a top-k query.
+#[derive(Debug)]
+pub struct TopKResponse {
+    pub points: Vec<ThresholdPoint>,
+    pub breakdown: TimeBreakdown,
+    pub wall_s: f64,
+}
+
+/// Builds a cluster: devices, placement, and bulk-loaded tables.
+pub struct ClusterBuilder {
+    config: ClusterConfig,
+    dataset: String,
+    grid: Arc<Grid3>,
+    layout: Arc<Layout>,
+    registry: DeviceRegistry,
+    lan: DeviceId,
+    wan: DeviceId,
+    node_ssds: Vec<DeviceId>,
+    node_controllers: Vec<DeviceId>,
+    builders: Vec<HashMap<String, TableBuilder>>,
+    pools: Vec<Arc<BlockCache>>,
+    dir: PathBuf,
+}
+
+impl ClusterBuilder {
+    /// Prepares storage for `fields` (`(name, ncomp)`) under `dir`.
+    pub fn new(
+        dir: impl AsRef<Path>,
+        dataset: &str,
+        grid: Grid3,
+        fields: &[(&str, u8)],
+        config: ClusterConfig,
+    ) -> StorageResult<Self> {
+        config.validate(grid.dims());
+        let layout = Arc::new(Layout::new(
+            grid.dims(),
+            config.chunk_atoms,
+            config.num_nodes,
+        ));
+        let mut registry = DeviceRegistry::new();
+        let lan = registry.register(DeviceProfile::lan());
+        let wan = registry.register(DeviceProfile::user_wan());
+        let dir = dir.as_ref().to_path_buf();
+        let mut builders = Vec::with_capacity(config.num_nodes);
+        let mut pools = Vec::with_capacity(config.num_nodes);
+        let mut node_ssds = Vec::with_capacity(config.num_nodes);
+        let mut node_controllers = Vec::with_capacity(config.num_nodes);
+        for node in 0..config.num_nodes {
+            let arrays: Vec<DeviceId> = (0..config.arrays_per_node)
+                .map(|_| registry.register(DeviceProfile::hdd_array()))
+                .collect();
+            node_ssds.push(registry.register(DeviceProfile::ssd()));
+            node_controllers.push(registry.register(DeviceProfile::node_controller()));
+            let zones = split_zones(&layout.zranges_of_node(node), config.arrays_per_node);
+            let node_dir = dir.join(format!("node{node}"));
+            let mut per_field = HashMap::new();
+            for &(name, ncomp) in fields {
+                per_field.insert(
+                    name.to_string(),
+                    TableBuilder::new(&node_dir, name, ncomp, zones.clone(), &arrays)?,
+                );
+            }
+            builders.push(per_field);
+            pools.push(Arc::new(BlockCache::new(config.bufferpool_bytes)));
+        }
+        Ok(Self {
+            config,
+            dataset: dataset.to_string(),
+            grid: Arc::new(grid),
+            layout,
+            registry,
+            lan,
+            wan,
+            node_ssds,
+            node_controllers,
+            builders,
+            pools,
+            dir,
+        })
+    }
+
+    /// Ingests one field of one time-step. `extract(atom)` returns the
+    /// atom's payload (`ncomp × 512` values, component-major).
+    pub fn ingest_timestep(
+        &mut self,
+        timestep: u32,
+        field: &str,
+        ncomp: u8,
+        extract: impl Fn(AtomCoord) -> Vec<f32> + Sync,
+    ) -> StorageResult<()> {
+        for node in 0..self.config.num_nodes {
+            let zones = self.layout.zranges_of_node(node);
+            let mut records = Vec::new();
+            for zr in zones {
+                for code in zr.start..=zr.end {
+                    let atom = AtomCoord::from_zindex(code);
+                    let rec = AtomRecord::new(AtomKey::new(timestep, code), ncomp, extract(atom))?;
+                    records.push(rec);
+                }
+            }
+            self.builders[node]
+                .get_mut(field)
+                .unwrap_or_else(|| panic!("unknown field {field}"))
+                .append_timestep(timestep, records)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the tables and brings the node runtimes up.
+    pub fn finish(self) -> StorageResult<Cluster> {
+        let registry = Arc::new(self.registry);
+        let scheme = Arc::new(DiffScheme::new(&self.grid, self.config.fd_order));
+        let mut nodes = Vec::with_capacity(self.config.num_nodes);
+        let mut file_id = 0u64;
+        for (node, per_field) in self.builders.into_iter().enumerate() {
+            let mut tables = HashMap::new();
+            for (name, builder) in per_field {
+                let table = builder.finish(Arc::clone(&self.pools[node]), file_id)?;
+                file_id += 1024;
+                tables.insert(name, table);
+            }
+            nodes.push(Arc::new(NodeRuntime::new(
+                node,
+                tables,
+                Arc::clone(&self.pools[node]),
+                self.node_ssds[node],
+                self.node_controllers[node],
+                self.config.compute_scale,
+                self.config.cache_budget_bytes,
+                Arc::clone(&self.layout),
+                Arc::clone(&self.grid),
+                Arc::clone(&scheme),
+                Arc::clone(&registry),
+                self.lan,
+            )));
+        }
+        Ok(Cluster {
+            config: self.config,
+            dataset: self.dataset,
+            grid: self.grid,
+            layout: self.layout,
+            registry,
+            lan: self.lan,
+            wan: self.wan,
+            nodes,
+            dir: self.dir,
+        })
+    }
+}
+
+/// Splits a node's merged z-ranges into `k` contiguous pieces of roughly
+/// equal atom count — one partition file per disk array.
+fn split_zones(zones: &[ZRange], k: usize) -> Vec<ZRange> {
+    let total: u64 = zones.iter().map(ZRange::len).sum();
+    let k = (k as u64).min(total).max(1);
+    let per = total.div_ceil(k);
+    let mut out = Vec::new();
+    for z in zones {
+        let mut start = z.start;
+        while start <= z.end {
+            let end = (start + per - 1).min(z.end);
+            out.push(ZRange::new(start, end));
+            if end == z.end {
+                break;
+            }
+            start = end + 1;
+        }
+    }
+    out
+}
+
+/// The running cluster: mediator entry points.
+pub struct Cluster {
+    config: ClusterConfig,
+    dataset: String,
+    grid: Arc<Grid3>,
+    layout: Arc<Layout>,
+    registry: Arc<DeviceRegistry>,
+    lan: DeviceId,
+    wan: DeviceId,
+    nodes: Vec<Arc<NodeRuntime>>,
+    #[allow(dead_code)]
+    dir: PathBuf,
+}
+
+impl Cluster {
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Dataset name.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// Grid geometry.
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// Placement map.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Device registry (for custom time modelling in benches).
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// Node runtimes.
+    pub fn nodes(&self) -> &[Arc<NodeRuntime>] {
+        &self.nodes
+    }
+
+    fn subquery(&self, req: &ThresholdRequest) -> ThresholdSubquery {
+        ThresholdSubquery {
+            dataset: self.dataset.clone(),
+            raw_field: req.raw_field.clone(),
+            derived: req.derived,
+            timestep: req.timestep,
+            query_box: req.query_box,
+            threshold: req.threshold,
+            use_cache: req.use_cache,
+            mode: req.mode,
+            procs: req.procs_override.unwrap_or(self.config.procs_per_node),
+        }
+    }
+
+    /// The cluster-wide I/O phase: nodes run in parallel, so the phase is
+    /// the slowest node's serial schedule divided by its processes — but
+    /// never less than any single device's total service time (devices
+    /// serve *all* nodes' requests: a peer fetching halo atoms still
+    /// occupies the owner's arrays and controller).
+    fn cluster_io_s(&self, results: &[NodeResult], procs: usize) -> f64 {
+        let refs: Vec<&NodeResult> = results.iter().collect();
+        self.cluster_io_ref(&refs, procs)
+    }
+
+    fn cluster_io_ref(&self, results: &[&NodeResult], procs: usize) -> f64 {
+        let cold: Vec<&&NodeResult> = results.iter().filter(|r| !r.cache_hit).collect();
+        if cold.is_empty() {
+            return 0.0;
+        }
+        let mut merged = IoSession::new();
+        let mut max_serial = 0.0f64;
+        for r in &cold {
+            merged.merge(&r.session);
+            max_serial = max_serial.max(r.io_serial_s);
+        }
+        let global_floor = merged.makespan(&self.registry);
+        (max_serial / procs.max(1) as f64).max(global_floor)
+    }
+
+    /// Evaluates a threshold query: scatter to nodes, gather, assemble.
+    pub fn get_threshold(&self, req: &ThresholdRequest) -> StorageResult<ThresholdResponse> {
+        let wall = std::time::Instant::now();
+        let sub = self.subquery(req);
+        let results: Vec<NodeResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let sub = sub.clone();
+                    let nodes = &self.nodes;
+                    scope.spawn(move || node.evaluate_threshold(nodes, &sub))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread"))
+                .collect::<StorageResult<Vec<_>>>()
+        })?;
+        let mut points = Vec::new();
+        let mut breakdown = TimeBreakdown::default();
+        let mut cache_hits = 0;
+        for r in &results {
+            breakdown = breakdown.max_merge(&r.breakdown());
+            cache_hits += usize::from(r.cache_hit);
+        }
+        breakdown.io_s = self.cluster_io_s(&results, sub.procs);
+        for mut r in results {
+            points.append(&mut r.points);
+        }
+        points.sort_unstable_by_key(|p| p.zindex);
+        let n = points.len() as u64;
+        breakdown.mediator_db_s = self
+            .registry
+            .profile(self.lan)
+            .time(2 * self.nodes.len() as u64, wire::binary_result_bytes(n));
+        breakdown.mediator_user_s = self
+            .registry
+            .profile(self.wan)
+            .time(2, wire::xml_result_bytes(n));
+        Ok(ThresholdResponse {
+            points,
+            breakdown,
+            cache_hits,
+            nodes: self.nodes.len(),
+            wall_s: wall.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Evaluates a PDF query over the same scan machinery (paper Fig. 2).
+    pub fn get_pdf(
+        &self,
+        req: &ThresholdRequest,
+        origin: f64,
+        width: f64,
+        nbins: usize,
+    ) -> StorageResult<PdfResponse> {
+        let wall = std::time::Instant::now();
+        let sub = self.subquery(req);
+        let results: Vec<(Histogram, NodeResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let sub = sub.clone();
+                    let nodes = &self.nodes;
+                    scope.spawn(move || node.evaluate_pdf(nodes, &sub, origin, width, nbins))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread"))
+                .collect::<StorageResult<Vec<_>>>()
+        })?;
+        let mut hist = Histogram::new(origin, width, nbins);
+        let mut breakdown = TimeBreakdown::default();
+        for (h, r) in &results {
+            hist.merge(h);
+            breakdown = breakdown.max_merge(&r.breakdown());
+        }
+        let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
+        breakdown.io_s = self.cluster_io_ref(&node_results, sub.procs);
+        breakdown.mediator_db_s = self
+            .registry
+            .profile(self.lan)
+            .time(2 * self.nodes.len() as u64, (nbins as u64 + 1) * 16);
+        breakdown.mediator_user_s = self
+            .registry
+            .profile(self.wan)
+            .time(2, (nbins as u64 + 1) * 64);
+        Ok(PdfResponse {
+            histogram: hist,
+            breakdown,
+            wall_s: wall.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Evaluates a top-k query (no caching: results are tiny but the scan
+    /// is the same as a threshold query).
+    pub fn get_topk(&self, req: &ThresholdRequest, k: usize) -> StorageResult<TopKResponse> {
+        let wall = std::time::Instant::now();
+        let sub = self.subquery(req);
+        let results: Vec<(Vec<ThresholdPoint>, NodeResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let sub = sub.clone();
+                    let nodes = &self.nodes;
+                    scope.spawn(move || node.evaluate_topk(nodes, &sub, k))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread"))
+                .collect::<StorageResult<Vec<_>>>()
+        })?;
+        let mut points = Vec::new();
+        let mut breakdown = TimeBreakdown::default();
+        {
+            let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
+            for r in &node_results {
+                breakdown = breakdown.max_merge(&r.breakdown());
+            }
+            breakdown.io_s = self.cluster_io_ref(&node_results, sub.procs);
+        }
+        for (p, _) in results {
+            points.extend(p);
+        }
+        points.sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
+        points.truncate(k);
+        let n = points.len() as u64;
+        breakdown.mediator_db_s = self
+            .registry
+            .profile(self.lan)
+            .time(2 * self.nodes.len() as u64, wire::binary_result_bytes(n));
+        breakdown.mediator_user_s = self
+            .registry
+            .profile(self.wan)
+            .time(2, wire::xml_result_bytes(n));
+        Ok(TopKResponse {
+            points,
+            breakdown,
+            wall_s: wall.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Reads a raw-field cutout (no kernel), as a user downloading data
+    /// would. Returns the assembled field over `cutout` and the breakdown
+    /// including the XML-inflated user transfer (§5.3 baseline).
+    pub fn get_cutout(
+        &self,
+        raw_field: &str,
+        timestep: u32,
+        cutout: &Box3,
+    ) -> StorageResult<(VectorField<3>, TimeBreakdown)> {
+        let (nx, ny, nz) = self.grid.dims();
+        assert!(
+            (cutout.hi[0] as usize) < nx
+                && (cutout.hi[1] as usize) < ny
+                && (cutout.hi[2] as usize) < nz,
+            "cutout outside grid"
+        );
+        let mut session = IoSession::new();
+        let mut field = VectorField::zeros(nx, ny, nz);
+        let mut ncomp = 1u64;
+        for atom in cutout.atoms() {
+            let owner = self.layout.node_of_atom(atom);
+            let rec = self.nodes[owner]
+                .fetch_atom(
+                    raw_field,
+                    AtomKey::new(timestep, atom.zindex()),
+                    &mut session,
+                )?
+                .ok_or_else(|| tdb_storage::StorageError::MissingData {
+                    detail: format!("atom {atom:?} of {raw_field} timestep {timestep}"),
+                })?;
+            ncomp = u64::from(rec.ncomp);
+            field.insert_atom(atom, &pad_components(&rec.data, usize::from(rec.ncomp)));
+        }
+        let mut breakdown = TimeBreakdown {
+            io_s: session.makespan(&self.registry),
+            ..Default::default()
+        };
+        let npoints = cutout.num_points();
+        breakdown.mediator_db_s = self
+            .registry
+            .profile(self.lan)
+            .time(2 * self.nodes.len() as u64, npoints * ncomp * 4);
+        breakdown.mediator_user_s = self
+            .registry
+            .profile(self.wan)
+            .time(2, wire::xml_cutout_bytes(npoints, ncomp));
+        let sub = field.extract_box(cutout);
+        Ok((sub, breakdown))
+    }
+
+    /// Interpolates a raw field at arbitrary positions (grid units) with
+    /// Lagrange polynomials — the JHTDB `GetVelocity`-style point query
+    /// (paper §2 lists interpolation among the built-in routines).
+    ///
+    /// Positions wrap on periodic axes and clamp at walls.
+    pub fn get_points(
+        &self,
+        raw_field: &str,
+        timestep: u32,
+        positions: &[[f64; 3]],
+        order: tdb_kernels::interp::LagOrder,
+    ) -> StorageResult<(Vec<[f32; 3]>, TimeBreakdown)> {
+        use crate::assemble::{assemble_padded, needed_atoms};
+        let dims = self.grid.dims();
+        let n = [dims.0 as f64, dims.1 as f64, dims.2 as f64];
+        let mut session = IoSession::new();
+        let mut out = Vec::with_capacity(positions.len());
+        let halo = order.halo();
+        for pos in positions {
+            // wrap/clamp the position into the domain
+            let mut p = [0.0f64; 3];
+            for ax in 0..3 {
+                p[ax] = if self.grid.periodic[ax] {
+                    pos[ax].rem_euclid(n[ax])
+                } else {
+                    pos[ax].clamp(0.0, n[ax] - 1.0)
+                };
+            }
+            let cell = [
+                (p[0].floor() as u32).min(dims.0 as u32 - 1),
+                (p[1].floor() as u32).min(dims.1 as u32 - 1),
+                (p[2].floor() as u32).min(dims.2 as u32 - 1),
+            ];
+            let domain = Box3::new(cell, cell);
+            let needed = needed_atoms(&domain, halo, dims, self.grid.periodic);
+            let mut atoms = std::collections::HashMap::new();
+            for atom in needed {
+                let owner = self.layout.node_of_atom(atom);
+                let recs = self.nodes[owner].fetch_atoms(
+                    raw_field,
+                    timestep,
+                    &[atom.zindex()],
+                    &mut session,
+                )?;
+                let rec = recs.into_iter().next().ok_or_else(|| {
+                    tdb_storage::StorageError::MissingData {
+                        detail: format!("atom {atom:?} of {raw_field} timestep {timestep}"),
+                    }
+                })?;
+                atoms.insert(rec.key.zindex, rec);
+            }
+            let padded = assemble_padded(&domain, halo, dims, self.grid.periodic, &atoms);
+            let local = [
+                p[0] - f64::from(cell[0]),
+                p[1] - f64::from(cell[1]),
+                p[2] - f64::from(cell[2]),
+            ];
+            out.push(tdb_kernels::interp::interpolate::<3>(&padded, order, local));
+        }
+        let mut breakdown = TimeBreakdown {
+            io_s: session.makespan(&self.registry),
+            ..Default::default()
+        };
+        breakdown.mediator_db_s = self
+            .registry
+            .profile(self.lan)
+            .time(2 * self.nodes.len() as u64, positions.len() as u64 * 12);
+        breakdown.mediator_user_s = self
+            .registry
+            .profile(self.wan)
+            .time(2, wire::xml_cutout_bytes(positions.len() as u64, 3));
+        Ok((out, breakdown))
+    }
+
+    /// Clears every node's semantic cache (cold-cache experiments).
+    pub fn clear_caches(&self) {
+        for n in &self.nodes {
+            n.cache.clear();
+            n.pdf_cache.clear();
+        }
+    }
+
+    /// Drops cache entries for one (field, derived, timestep) — the
+    /// paper's per-run "cache entries ... were dropped" setup.
+    pub fn invalidate_cache_entry(&self, raw_field: &str, derived: DerivedField, timestep: u32) {
+        let key = tdb_cache::CacheInfoKey {
+            dataset: self.dataset.clone(),
+            field: format!("{raw_field}/{}", derived.name()),
+            timestep,
+        };
+        for n in &self.nodes {
+            n.cache.invalidate(&key);
+        }
+    }
+
+    /// Clears every node's buffer pool (cold-I/O experiments).
+    pub fn clear_buffer_pools(&self) {
+        for n in &self.nodes {
+            n.buffer_pool().clear();
+        }
+    }
+
+    /// Aggregate cache statistics across nodes (semantic + PDF caches).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for n in &self.nodes {
+            for s in [n.cache.stats(), n.pdf_cache.stats()] {
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.inserts += s.inserts;
+                total.evictions += s.evictions;
+                total.conflicts += s.conflicts;
+            }
+        }
+        total
+    }
+}
+
+/// Pads a record payload (component-major) out to three components.
+fn pad_components(data: &[f32], ncomp: usize) -> Vec<f32> {
+    use tdb_zorder::ATOM_POINTS;
+    let mut out = vec![0.0f32; 3 * ATOM_POINTS];
+    for c in 0..ncomp.min(3) {
+        out[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]
+            .copy_from_slice(&data[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_zones_is_contiguous_and_complete() {
+        let zones = vec![ZRange::new(0, 99)];
+        let parts = split_zones(&zones, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts.last().unwrap().end, 99);
+        let total: u64 = parts.iter().map(ZRange::len).sum();
+        assert_eq!(total, 100);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start);
+        }
+    }
+
+    #[test]
+    fn split_zones_handles_more_parts_than_atoms() {
+        let zones = vec![ZRange::new(0, 1)];
+        let parts = split_zones(&zones, 8);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn pad_components_zero_fills() {
+        use tdb_zorder::ATOM_POINTS;
+        let data = vec![2.0f32; ATOM_POINTS];
+        let p = pad_components(&data, 1);
+        assert_eq!(p.len(), 3 * ATOM_POINTS);
+        assert_eq!(p[0], 2.0);
+        assert_eq!(p[ATOM_POINTS], 0.0);
+    }
+}

@@ -1,0 +1,589 @@
+//! Per-node query evaluation.
+//!
+//! A node owns a contiguous z-order run of chunks, a partitioned table per
+//! raw field, a buffer pool, and a semantic cache on its SSD. Threshold
+//! subqueries follow Algorithm 1: probe the cache, otherwise evaluate from
+//! the raw data chunk-by-chunk with `procs` worker processes and update
+//! the cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use tdb_cache::{
+    CacheConfig, CacheInfoKey, CacheLookup, PdfCache, PdfKey, PdfLookup, SemanticCache,
+    ThresholdPoint,
+};
+use tdb_field::{Grid3, ScalarField};
+use tdb_kernels::{DerivedField, DiffScheme};
+use tdb_storage::device::{DeviceId, DeviceRegistry, IoSession};
+use tdb_storage::{AtomKey, AtomRecord, BlockCache, StorageResult, Table};
+use tdb_zorder::{encode3, Box3};
+
+use crate::assemble::{assemble_padded, needed_atoms};
+use crate::cputime::thread_cpu_time_s;
+use crate::placement::{Chunk, Layout};
+use crate::sim::{ChunkCost, NodeTimeModel};
+use crate::timing::TimeBreakdown;
+
+/// Whether a query does real work or only the disk reads (Fig. 8's
+/// "I/O only" series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    Full,
+    IoOnly,
+}
+
+/// The per-node share of a threshold query.
+#[derive(Debug, Clone)]
+pub struct ThresholdSubquery {
+    pub dataset: String,
+    pub raw_field: String,
+    pub derived: DerivedField,
+    pub timestep: u32,
+    pub query_box: Box3,
+    pub threshold: f64,
+    pub use_cache: bool,
+    pub mode: QueryMode,
+    pub procs: usize,
+}
+
+impl ThresholdSubquery {
+    /// Cache key for this (dataset, field, time-step).
+    pub fn cache_key(&self) -> CacheInfoKey {
+        CacheInfoKey {
+            dataset: self.dataset.clone(),
+            field: format!("{}/{}", self.raw_field, self.derived.name()),
+            timestep: self.timestep,
+        }
+    }
+}
+
+/// Outcome of one node's threshold subquery.
+#[derive(Debug)]
+pub struct NodeResult {
+    pub points: Vec<ThresholdPoint>,
+    pub cache_hit: bool,
+    /// Modelled + measured cache-probe time.
+    pub cache_lookup_s: f64,
+    /// Modelled I/O schedule time at the configured process count.
+    pub io_s: f64,
+    /// Strictly serial I/O schedule of this node's subquery (the mediator
+    /// combines these with the global per-device floor).
+    pub io_serial_s: f64,
+    /// Modelled compute residency (total pipeline − I/O schedule), i.e.
+    /// the measured kernel time as overlapped by the worker pipeline.
+    pub compute_s: f64,
+    /// Raw measured wall-clock of the node evaluation.
+    pub wall_s: f64,
+    /// Device accesses of the whole subquery.
+    pub session: IoSession,
+}
+
+impl NodeResult {
+    /// This node's contribution to the cluster breakdown (communication
+    /// phases are filled in by the mediator).
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            cache_lookup_s: self.cache_lookup_s,
+            io_s: self.io_s,
+            compute_s: self.compute_s,
+            ..Default::default()
+        }
+    }
+}
+
+/// One simulated database node.
+pub struct NodeRuntime {
+    pub id: usize,
+    tables: HashMap<String, Table>,
+    pub cache: SemanticCache,
+    pub pdf_cache: PdfCache,
+    pool: Arc<BlockCache>,
+    chunks: Vec<Chunk>,
+    layout: Arc<Layout>,
+    grid: Arc<Grid3>,
+    scheme: Arc<DiffScheme>,
+    registry: Arc<DeviceRegistry>,
+    lan: DeviceId,
+    controller: DeviceId,
+    compute_scale: f64,
+}
+
+impl NodeRuntime {
+    /// Assembles a node from its built tables and devices (used by
+    /// [`crate::mediator::ClusterBuilder`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        tables: HashMap<String, Table>,
+        pool: Arc<BlockCache>,
+        ssd: DeviceId,
+        controller: DeviceId,
+        compute_scale: f64,
+        cache_budget_bytes: u64,
+        layout: Arc<Layout>,
+        grid: Arc<Grid3>,
+        scheme: Arc<DiffScheme>,
+        registry: Arc<DeviceRegistry>,
+        lan: DeviceId,
+    ) -> Self {
+        let chunks = layout.chunks_of_node(id);
+        Self {
+            id,
+            tables,
+            cache: SemanticCache::new(CacheConfig {
+                budget_bytes: cache_budget_bytes,
+                ssd,
+            }),
+            // histograms are tiny; a small slice of the SSD suffices
+            pdf_cache: PdfCache::new(ssd, (cache_budget_bytes / 64).max(1 << 20)),
+            pool,
+            chunks,
+            layout,
+            grid,
+            scheme,
+            registry,
+            lan,
+            controller,
+            compute_scale,
+        }
+    }
+
+    /// The node's buffer pool (exposed for cold-cache experiment setup).
+    pub fn buffer_pool(&self) -> &BlockCache {
+        &self.pool
+    }
+
+    /// Table for a raw field.
+    pub fn table(&self, field: &str) -> &Table {
+        self.tables
+            .get(field)
+            .unwrap_or_else(|| panic!("node {} has no field {field}", self.id))
+    }
+
+    /// Point lookup used by peers fetching halo atoms.
+    pub fn fetch_atom(
+        &self,
+        field: &str,
+        key: AtomKey,
+        session: &mut IoSession,
+    ) -> StorageResult<Option<AtomRecord>> {
+        self.table(field).get(key, session)
+    }
+
+    /// Batched halo fetch: one request for many atoms (sorted, unique
+    /// zindexes), served by clustered-index range scans.
+    pub fn fetch_atoms(
+        &self,
+        field: &str,
+        timestep: u32,
+        zindexes: &[u64],
+        session: &mut IoSession,
+    ) -> StorageResult<Vec<AtomRecord>> {
+        let mut local = IoSession::new();
+        let out = self.table(field).get_many(timestep, zindexes, &mut local);
+        // every request and byte the arrays serve also crosses the node's
+        // shared controller, which caps how far I/O parallelises
+        let (ops, bytes) = (local.total_ops(), local.total_bytes());
+        if bytes > 0 || ops > 0 {
+            local.charge(self.controller, ops, bytes);
+        }
+        session.merge(&local);
+        out
+    }
+
+    /// Evaluates a threshold subquery (Algorithm 1 on this node).
+    pub fn evaluate_threshold(
+        &self,
+        peers: &[Arc<NodeRuntime>],
+        q: &ThresholdSubquery,
+    ) -> StorageResult<NodeResult> {
+        let wall = Instant::now();
+        let mut session = IoSession::new();
+        // --- cache probe -------------------------------------------------
+        let mut cache_lookup_s = 0.0;
+        if q.use_cache {
+            let probe = thread_cpu_time_s();
+            let mut probe_session = IoSession::new();
+            let outcome = self.cache.lookup(
+                &q.cache_key(),
+                &q.query_box,
+                q.threshold,
+                &mut probe_session,
+            );
+            cache_lookup_s =
+                (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
+            session.merge(&probe_session);
+            if let CacheLookup::Hit(points) = outcome {
+                return Ok(NodeResult {
+                    points,
+                    cache_hit: true,
+                    cache_lookup_s,
+                    io_s: 0.0,
+                    io_serial_s: 0.0,
+                    compute_s: 0.0,
+                    wall_s: wall.elapsed().as_secs_f64(),
+                    session,
+                });
+            }
+        }
+        // --- evaluate from raw data --------------------------------------
+        let tasks = self.tasks_for(&q.query_box);
+        let results: Vec<StorageResult<(Vec<ThresholdPoint>, ChunkCost, IoSession)>> = self
+            .run_workers(q.procs, &tasks, |domain| {
+                let mut chunk_session = IoSession::new();
+                let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
+                let mut points = Vec::new();
+                let mut compute_s = 0.0;
+                if q.mode == QueryMode::Full {
+                    let c0 = thread_cpu_time_s();
+                    let halo = q.derived.halo(&self.scheme);
+                    let padded = assemble_padded(
+                        &domain,
+                        halo,
+                        self.grid.dims(),
+                        self.grid.periodic,
+                        &atoms,
+                    );
+                    let norm = q.derived.eval(
+                        &padded,
+                        &self.scheme,
+                        [
+                            domain.lo[0] as usize,
+                            domain.lo[1] as usize,
+                            domain.lo[2] as usize,
+                        ],
+                    );
+                    points = threshold_scan(&norm, &domain, q.threshold);
+                    compute_s = (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale;
+                }
+                let cost = ChunkCost {
+                    io: chunk_session
+                        .devices()
+                        .map(|(dev, a)| (dev, self.registry.profile(dev).time(a.ops, a.bytes)))
+                        .collect(),
+                    compute_s,
+                };
+                Ok((points, cost, chunk_session))
+            });
+        let mut points = Vec::new();
+        let mut costs = Vec::with_capacity(results.len());
+        for r in results {
+            let (p, cost, chunk_session) = r?;
+            points.extend(p);
+            costs.push(cost);
+            session.merge(&chunk_session);
+        }
+        points.sort_unstable_by_key(|p| p.zindex);
+        // --- serial-phase timing (DESIGN.md §4) -----------------------------
+        let model = NodeTimeModel::from_costs(&costs, &self.registry);
+        let mut io_s = model.io_s(q.procs);
+        let compute_phase = model.compute_s(q.procs);
+        // --- cache update --------------------------------------------------
+        if q.use_cache && q.mode == QueryMode::Full {
+            let mut insert_session = IoSession::new();
+            self.cache.insert(
+                &q.cache_key(),
+                q.query_box,
+                q.threshold,
+                &points,
+                &mut insert_session,
+            );
+            io_s += insert_session.makespan(&self.registry);
+            session.merge(&insert_session);
+        }
+        Ok(NodeResult {
+            compute_s: compute_phase,
+            points,
+            cache_hit: false,
+            cache_lookup_s,
+            io_s,
+            io_serial_s: model.io_serial,
+            wall_s: wall.elapsed().as_secs_f64(),
+            session,
+        })
+    }
+
+    /// Evaluates this node's share of a PDF (histogram) query — same scan
+    /// strategy as threshold queries (paper §4).
+    pub fn evaluate_pdf(
+        &self,
+        peers: &[Arc<NodeRuntime>],
+        q: &ThresholdSubquery,
+        origin: f64,
+        width: f64,
+        nbins: usize,
+    ) -> StorageResult<(tdb_field::Histogram, NodeResult)> {
+        let wall = Instant::now();
+        // --- PDF-cache probe (paper §4: the cache "can easily be extended
+        // to cache the results of other query types") ---------------------
+        let pdf_key = PdfKey::new(q.cache_key(), origin, width, nbins as u32);
+        if q.use_cache {
+            let probe = thread_cpu_time_s();
+            let mut probe_session = IoSession::new();
+            if let PdfLookup::Hit(counts) =
+                self.pdf_cache
+                    .lookup(&pdf_key, &q.query_box, &mut probe_session)
+            {
+                let mut hist = tdb_field::Histogram::new(origin, width, nbins);
+                hist.set_counts(&counts);
+                let cache_lookup_s =
+                    (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
+                let node = NodeResult {
+                    points: Vec::new(),
+                    cache_hit: true,
+                    cache_lookup_s,
+                    io_s: 0.0,
+                    io_serial_s: 0.0,
+                    compute_s: 0.0,
+                    wall_s: wall.elapsed().as_secs_f64(),
+                    session: probe_session,
+                };
+                return Ok((hist, node));
+            }
+        }
+        let tasks = self.tasks_for(&q.query_box);
+        let results: Vec<StorageResult<(tdb_field::Histogram, ChunkCost, IoSession)>> = self
+            .run_workers(q.procs, &tasks, |domain| {
+                let mut chunk_session = IoSession::new();
+                let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
+                let c0 = thread_cpu_time_s();
+                let halo = q.derived.halo(&self.scheme);
+                let padded =
+                    assemble_padded(&domain, halo, self.grid.dims(), self.grid.periodic, &atoms);
+                let norm = q.derived.eval(
+                    &padded,
+                    &self.scheme,
+                    [
+                        domain.lo[0] as usize,
+                        domain.lo[1] as usize,
+                        domain.lo[2] as usize,
+                    ],
+                );
+                let mut hist = tdb_field::Histogram::new(origin, width, nbins);
+                for &v in norm.as_slice() {
+                    hist.push(f64::from(v));
+                }
+                let cost = ChunkCost {
+                    io: chunk_session
+                        .devices()
+                        .map(|(dev, a)| (dev, self.registry.profile(dev).time(a.ops, a.bytes)))
+                        .collect(),
+                    compute_s: (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale,
+                };
+                Ok((hist, cost, chunk_session))
+            });
+        let mut hist = tdb_field::Histogram::new(origin, width, nbins);
+        let mut costs = Vec::new();
+        let mut session = IoSession::new();
+        for r in results {
+            let (h, cost, s) = r?;
+            hist.merge(&h);
+            costs.push(cost);
+            session.merge(&s);
+        }
+        if q.use_cache {
+            let mut insert_session = IoSession::new();
+            self.pdf_cache.insert(
+                &pdf_key,
+                q.query_box,
+                hist.counts().to_vec(),
+                &mut insert_session,
+            );
+            session.merge(&insert_session);
+        }
+        let model = NodeTimeModel::from_costs(&costs, &self.registry);
+        let node = NodeResult {
+            points: Vec::new(),
+            cache_hit: false,
+            cache_lookup_s: 0.0,
+            io_s: model.io_s(q.procs),
+            io_serial_s: model.io_serial,
+            compute_s: model.compute_s(q.procs),
+            wall_s: wall.elapsed().as_secs_f64(),
+            session,
+        };
+        Ok((hist, node))
+    }
+
+    /// This node's top-k points by derived-field norm.
+    pub fn evaluate_topk(
+        &self,
+        peers: &[Arc<NodeRuntime>],
+        q: &ThresholdSubquery,
+        k: usize,
+    ) -> StorageResult<(Vec<ThresholdPoint>, NodeResult)> {
+        // a top-k over a scan is a threshold query with threshold -inf and
+        // a bounded heap; reuse the full scan then truncate
+        let mut sub = q.clone();
+        sub.threshold = f64::NEG_INFINITY;
+        sub.use_cache = false;
+        let mut result = self.evaluate_threshold(peers, &sub)?;
+        result
+            .points
+            .sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
+        result.points.truncate(k);
+        let points = std::mem::take(&mut result.points);
+        Ok((points, result))
+    }
+
+    /// Chunk domains (clipped to the query box) this node must evaluate.
+    fn tasks_for(&self, query_box: &Box3) -> Vec<Box3> {
+        self.chunks
+            .iter()
+            .filter_map(|c: &Chunk| c.grid_box().intersect(query_box))
+            .collect()
+    }
+
+    /// Runs `procs` workers over the task list, collecting per-task output.
+    fn run_workers<T: Send>(
+        &self,
+        procs: usize,
+        tasks: &[Box3],
+        work: impl Fn(Box3) -> T + Sync,
+    ) -> Vec<T> {
+        // the time model scales with the *requested* process count; the
+        // real thread count is capped at the hardware so CPU-time
+        // measurements stay clean
+        let hw = std::thread::available_parallelism().map_or(8, |n| n.get());
+        let procs = procs.max(1).min(hw);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..procs.min(tasks.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(domain) = tasks.get(i) else { break };
+                    let r = work(*domain);
+                    out.lock().push((i, r));
+                });
+            }
+        });
+        let mut results = out.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Fetches every atom a chunk domain needs: local atoms from this
+    /// node's table as batched range scans, halo atoms owned by peers as
+    /// one batched request per peer over the (modelled) LAN.
+    fn fetch_atoms_for(
+        &self,
+        q: &ThresholdSubquery,
+        domain: &Box3,
+        peers: &[Arc<NodeRuntime>],
+        session: &mut IoSession,
+    ) -> StorageResult<HashMap<u64, AtomRecord>> {
+        // I/O-only probes (Fig. 8) read exactly what the full evaluation
+        // reads — boundary bands included — they just skip the kernel
+        let halo = q.derived.halo(&self.scheme);
+        let needed = needed_atoms(domain, halo, self.grid.dims(), self.grid.periodic);
+        let mut by_owner: HashMap<usize, Vec<u64>> = HashMap::new();
+        for atom in &needed {
+            by_owner
+                .entry(self.layout.node_of_atom(*atom))
+                .or_default()
+                .push(atom.zindex());
+        }
+        let mut out = HashMap::with_capacity(needed.len());
+        for (owner, mut codes) in by_owner {
+            codes.sort_unstable();
+            let records = if owner == self.id {
+                self.fetch_atoms(&q.raw_field, q.timestep, &codes, session)
+            } else {
+                let r = peers[owner].fetch_atoms(&q.raw_field, q.timestep, &codes, session);
+                if let Ok(records) = &r {
+                    // one LAN round-trip per peer contacted for this chunk
+                    let bytes: u64 = records
+                        .iter()
+                        .map(|rec| AtomRecord::encoded_len(rec.ncomp) as u64)
+                        .sum();
+                    session.charge(self.lan, 1, bytes);
+                }
+                r
+            };
+            let records = records?;
+            if records.len() != codes.len() {
+                return Err(tdb_storage::StorageError::MissingData {
+                    detail: format!(
+                        "node {owner} returned {} of {} atoms for field {} timestep {}",
+                        records.len(),
+                        codes.len(),
+                        q.raw_field,
+                        q.timestep
+                    ),
+                });
+            }
+            for rec in records {
+                out.insert(rec.key.zindex, rec);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Scans an evaluated norm field, returning every point at or above the
+/// threshold with its global Morton code.
+fn threshold_scan(norm: &ScalarField, domain: &Box3, threshold: f64) -> Vec<ThresholdPoint> {
+    let (_nx, ny, nz) = norm.dims();
+    let thr = threshold as f32;
+    let mut out = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            let row = norm.row(y, z);
+            for (x, &v) in row.iter().enumerate() {
+                if v >= thr {
+                    out.push(ThresholdPoint {
+                        zindex: encode3(
+                            domain.lo[0] + x as u32,
+                            domain.lo[1] + y as u32,
+                            domain.lo[2] + z as u32,
+                        ),
+                        value: v,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scan_finds_exact_points() {
+        let mut f = ScalarField::zeros(4, 4, 4);
+        f.set(1, 2, 3, 5.0);
+        f.set(0, 0, 0, 4.9);
+        let domain = Box3::new([8, 8, 8], [11, 11, 11]);
+        let pts = threshold_scan(&f, &domain, 5.0);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].coords(), (9, 10, 11));
+        assert_eq!(pts[0].value, 5.0);
+        // threshold is inclusive
+        let pts = threshold_scan(&f, &domain, 4.9);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn cache_key_includes_derived_field() {
+        let q = ThresholdSubquery {
+            dataset: "mhd".into(),
+            raw_field: "velocity".into(),
+            derived: DerivedField::CurlNorm,
+            timestep: 3,
+            query_box: Box3::cube(8),
+            threshold: 1.0,
+            use_cache: true,
+            mode: QueryMode::Full,
+            procs: 1,
+        };
+        let k = q.cache_key();
+        assert_eq!(k.field, "velocity/curl_norm");
+        assert_eq!(k.timestep, 3);
+    }
+}

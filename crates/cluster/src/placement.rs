@@ -1,0 +1,231 @@
+//! Spatial data placement.
+//!
+//! "We use the Morton z-order space-filling curve to distribute the data
+//! across nodes and databases" (paper §2). The atom lattice is tiled into
+//! cubic *chunks* (octree-aligned, so each chunk is one contiguous Morton
+//! range); chunks are ordered along the z-curve and split into contiguous
+//! runs, one per node. A chunk is both the placement unit and the unit of
+//! work a node's worker processes pull from the queue.
+
+use tdb_zorder::{encode3, AtomCoord, Box3, ZRange, ATOM_WIDTH};
+
+/// One cubic tile of the atom lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Chunk-lattice coordinates.
+    pub cx: u32,
+    pub cy: u32,
+    pub cz: u32,
+    /// Edge length in atoms (power of two).
+    pub atoms: u32,
+}
+
+impl Chunk {
+    /// Contiguous Morton range of this chunk's atoms.
+    pub fn zrange(&self) -> ZRange {
+        let shift = 3 * self.atoms.trailing_zeros();
+        let base = encode3(self.cx, self.cy, self.cz) << shift;
+        ZRange::new(base, base + (u64::from(self.atoms).pow(3) - 1))
+    }
+
+    /// Grid-space box covered by this chunk.
+    pub fn grid_box(&self) -> Box3 {
+        let w = self.atoms * ATOM_WIDTH as u32;
+        Box3::new(
+            [self.cx * w, self.cy * w, self.cz * w],
+            [
+                (self.cx + 1) * w - 1,
+                (self.cy + 1) * w - 1,
+                (self.cz + 1) * w - 1,
+            ],
+        )
+    }
+}
+
+/// The cluster-wide placement map.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    dims: (usize, usize, usize),
+    chunk_atoms: u32,
+    /// Chunks sorted by z-order.
+    chunks: Vec<Chunk>,
+    /// `chunk_node[i]` = node owning `chunks[i]`.
+    chunk_node: Vec<usize>,
+    num_nodes: usize,
+}
+
+impl Layout {
+    /// Tiles the grid and assigns contiguous z-order runs of chunks to
+    /// `num_nodes` nodes.
+    pub fn new(dims: (usize, usize, usize), chunk_atoms: u32, num_nodes: usize) -> Self {
+        let w = (8 * chunk_atoms) as usize;
+        assert!(
+            dims.0 % w == 0 && dims.1 % w == 0 && dims.2 % w == 0,
+            "grid {dims:?} not tileable by chunk width {w}"
+        );
+        let (ncx, ncy, ncz) = (dims.0 / w, dims.1 / w, dims.2 / w);
+        let mut chunks = Vec::with_capacity(ncx * ncy * ncz);
+        for cz in 0..ncz as u32 {
+            for cy in 0..ncy as u32 {
+                for cx in 0..ncx as u32 {
+                    chunks.push(Chunk {
+                        cx,
+                        cy,
+                        cz,
+                        atoms: chunk_atoms,
+                    });
+                }
+            }
+        }
+        chunks.sort_by_key(|c| c.zrange().start);
+        let n = chunks.len();
+        assert!(
+            n >= num_nodes,
+            "{n} chunks cannot be spread over {num_nodes} nodes"
+        );
+        let chunk_node = (0..n).map(|i| i * num_nodes / n).collect();
+        Self {
+            dims,
+            chunk_atoms,
+            chunks,
+            chunk_node,
+            num_nodes,
+        }
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All chunks in z-order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Chunks owned by `node`, in z-order.
+    pub fn chunks_of_node(&self, node: usize) -> Vec<Chunk> {
+        self.chunks
+            .iter()
+            .zip(&self.chunk_node)
+            .filter(|(_, &n)| n == node)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Merged contiguous z-ranges of a node's atoms (its table partitions
+    /// are built over these).
+    pub fn zranges_of_node(&self, node: usize) -> Vec<ZRange> {
+        let mut out: Vec<ZRange> = Vec::new();
+        for c in self.chunks_of_node(node) {
+            let r = c.zrange();
+            match out.last_mut() {
+                Some(last) if last.end + 1 == r.start => last.end = r.end,
+                _ => out.push(r),
+            }
+        }
+        out
+    }
+
+    /// Node owning the atom.
+    pub fn node_of_atom(&self, atom: AtomCoord) -> usize {
+        let ca = self.chunk_atoms;
+        let chunk_code = encode3(atom.x / ca, atom.y / ca, atom.z / ca);
+        let shift = 3 * ca.trailing_zeros();
+        let code = (chunk_code << shift) | (atom.zindex() & ((1u64 << shift) - 1));
+        // binary search the chunk whose range contains the code
+        let idx = self.chunks.partition_point(|c| c.zrange().end < code);
+        debug_assert!(self.chunks[idx].zrange().contains(code));
+        self.chunk_node[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chunk_zrange_is_octree_aligned() {
+        let c = Chunk {
+            cx: 1,
+            cy: 0,
+            cz: 0,
+            atoms: 4,
+        };
+        let r = c.zrange();
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.start, encode3(4, 0, 0));
+        // every atom of the chunk falls inside the range
+        for ax in 4..8 {
+            for ay in 0..4 {
+                for az in 0..4 {
+                    assert!(r.contains(encode3(ax, ay, az)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_grid_box_matches() {
+        let c = Chunk {
+            cx: 0,
+            cy: 1,
+            cz: 2,
+            atoms: 2,
+        };
+        assert_eq!(c.grid_box(), Box3::new([0, 16, 32], [15, 31, 47]));
+    }
+
+    #[test]
+    fn layout_partitions_all_chunks_contiguously() {
+        let l = Layout::new((64, 64, 64), 2, 4);
+        assert_eq!(l.chunks().len(), 64);
+        let mut total = 0;
+        for node in 0..4 {
+            let cs = l.chunks_of_node(node);
+            assert_eq!(cs.len(), 16);
+            total += cs.len();
+            // contiguous run along the z-curve → one merged z-range
+            assert_eq!(l.zranges_of_node(node).len(), 1);
+        }
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn node_ranges_cover_the_lattice_disjointly() {
+        let l = Layout::new((64, 64, 64), 2, 3);
+        let mut ranges: Vec<ZRange> = (0..3).flat_map(|n| l.zranges_of_node(n)).collect();
+        ranges.sort();
+        let total: u64 = ranges.iter().map(ZRange::len).sum();
+        assert_eq!(total, 8 * 8 * 8); // 512 atoms on the 8³ lattice
+        for w in ranges.windows(2) {
+            assert!(w[0].end < w[1].start);
+        }
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 511);
+    }
+
+    proptest! {
+        #[test]
+        fn node_of_atom_agrees_with_chunk_ownership(
+            ax in 0u32..8, ay in 0u32..8, az in 0u32..8, nodes in 1usize..6
+        ) {
+            let l = Layout::new((64, 64, 64), 2, nodes);
+            let atom = AtomCoord::new(ax, ay, az);
+            let node = l.node_of_atom(atom);
+            prop_assert!(node < nodes);
+            // the owning node's chunk list contains the atom's chunk
+            let owned = l.chunks_of_node(node);
+            prop_assert!(owned.iter().any(|c| c.zrange().contains(atom.zindex())));
+            // and its z-ranges contain the atom's code
+            let zr = l.zranges_of_node(node);
+            prop_assert!(zr.iter().any(|r| r.contains(atom.zindex())));
+        }
+    }
+}

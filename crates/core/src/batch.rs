@@ -1,0 +1,400 @@
+//! Batch queries and MyDB — the paper's §7 future work, implemented.
+//!
+//! "We plan on deploying a server-side computing environment for users
+//! similar to the CasJobs service for the Sloan Digital Sky Survey. In
+//! such an environment users can run queries in batch mode and save their
+//! results in a personal database called MyDB, which resides on the
+//! servers near the data."
+//!
+//! A [`BatchSession`] owns a background worker that drains a job queue
+//! against the service; every job writes its result into the session's
+//! [`MyDb`], a quota-bounded per-user result store that later jobs (and
+//! the user) can read back without re-running the query.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use tdb_cache::ThresholdPoint;
+
+use crate::query::ThresholdQuery;
+use crate::service::TurbulenceService;
+
+/// Identifies a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// What a batch job runs.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A threshold query whose points land in `output_table`.
+    Threshold {
+        query: ThresholdQuery,
+        output_table: String,
+    },
+    /// A top-k query whose points land in `output_table`.
+    TopK {
+        query: ThresholdQuery,
+        k: usize,
+        output_table: String,
+    },
+}
+
+impl JobSpec {
+    fn output_table(&self) -> &str {
+        match self {
+            JobSpec::Threshold { output_table, .. } | JobSpec::TopK { output_table, .. } => {
+                output_table
+            }
+        }
+    }
+}
+
+/// Life cycle of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    Queued,
+    Running,
+    /// Finished; `rows` were written to the output table.
+    Done {
+        rows: usize,
+        modelled_s: f64,
+    },
+    Failed(String),
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done { .. } | JobState::Failed(_))
+    }
+}
+
+/// One saved result table.
+#[derive(Debug, Clone)]
+pub struct MyDbTable {
+    /// The query that produced it, rendered for provenance.
+    pub provenance: String,
+    pub points: Vec<ThresholdPoint>,
+}
+
+impl MyDbTable {
+    fn bytes(&self) -> u64 {
+        64 + self.points.len() as u64 * 12
+    }
+}
+
+/// The per-user result store.
+#[derive(Debug)]
+pub struct MyDb {
+    tables: Mutex<BTreeMap<String, MyDbTable>>,
+    quota_bytes: u64,
+}
+
+impl MyDb {
+    fn new(quota_bytes: u64) -> Self {
+        Self {
+            tables: Mutex::new(BTreeMap::new()),
+            quota_bytes,
+        }
+    }
+
+    /// Stores a table, enforcing the quota. Replacing a table reclaims its
+    /// old footprint first.
+    pub fn put(&self, name: &str, table: MyDbTable) -> Result<(), String> {
+        let mut tables = self.tables.lock();
+        let existing: u64 = tables
+            .iter()
+            .filter(|(n, _)| n.as_str() != name)
+            .map(|(_, t)| t.bytes())
+            .sum();
+        if existing + table.bytes() > self.quota_bytes {
+            return Err(format!(
+                "MyDB quota exceeded: {} + {} bytes > {} quota",
+                existing,
+                table.bytes(),
+                self.quota_bytes
+            ));
+        }
+        tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Reads a table.
+    pub fn get(&self, name: &str) -> Option<MyDbTable> {
+        self.tables.lock().get(name).cloned()
+    }
+
+    /// Drops a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.lock().remove(name).is_some()
+    }
+
+    /// Lists table names.
+    pub fn list(&self) -> Vec<String> {
+        self.tables.lock().keys().cloned().collect()
+    }
+
+    /// Total stored bytes.
+    pub fn used_bytes(&self) -> u64 {
+        self.tables.lock().values().map(MyDbTable::bytes).sum()
+    }
+}
+
+struct JobBoard {
+    states: Mutex<BTreeMap<JobId, JobState>>,
+    changed: Condvar,
+}
+
+/// A batch-mode session bound to one service.
+pub struct BatchSession {
+    mydb: Arc<MyDb>,
+    board: Arc<JobBoard>,
+    sender: Option<mpsc::Sender<(JobId, JobSpec)>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl BatchSession {
+    /// Opens a session with a MyDB quota (paper's MyDB "resides on the
+    /// servers near the data" — here, next to the service).
+    pub fn open(service: Arc<TurbulenceService>, quota_bytes: u64) -> Self {
+        let mydb = Arc::new(MyDb::new(quota_bytes));
+        let board = Arc::new(JobBoard {
+            states: Mutex::new(BTreeMap::new()),
+            changed: Condvar::new(),
+        });
+        let (tx, rx) = mpsc::channel::<(JobId, JobSpec)>();
+        let worker_mydb = Arc::clone(&mydb);
+        let worker_board = Arc::clone(&board);
+        let worker = std::thread::spawn(move || {
+            for (id, spec) in rx {
+                set_state(&worker_board, id, JobState::Running);
+                let outcome = run_job(&service, &worker_mydb, &spec);
+                let state = match outcome {
+                    Ok((rows, modelled_s)) => JobState::Done { rows, modelled_s },
+                    Err(msg) => JobState::Failed(msg),
+                };
+                set_state(&worker_board, id, state);
+            }
+        });
+        Self {
+            mydb,
+            board,
+            sender: Some(tx),
+            worker: Some(worker),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Enqueues a job and returns its id immediately.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        set_state(&self.board, id, JobState::Queued);
+        self.sender
+            .as_ref()
+            .expect("session open")
+            .send((id, spec))
+            .expect("worker alive");
+        id
+    }
+
+    /// Current state of a job.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.board.states.lock().get(&id).cloned()
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(&self, id: JobId) -> JobState {
+        let mut states = self.board.states.lock();
+        loop {
+            match states.get(&id) {
+                Some(s) if s.is_terminal() => return s.clone(),
+                Some(_) => self.board.changed.wait(&mut states),
+                None => panic!("unknown job {id:?}"),
+            }
+        }
+    }
+
+    /// The session's result store.
+    pub fn mydb(&self) -> &MyDb {
+        &self.mydb
+    }
+
+    /// Drains the queue and shuts the worker down.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.sender.take(); // closing the channel ends the worker loop
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for BatchSession {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn set_state(board: &JobBoard, id: JobId, state: JobState) {
+    board.states.lock().insert(id, state);
+    board.changed.notify_all();
+}
+
+fn run_job(
+    service: &TurbulenceService,
+    mydb: &MyDb,
+    spec: &JobSpec,
+) -> Result<(usize, f64), String> {
+    let (points, modelled_s, provenance) = match spec {
+        JobSpec::Threshold { query, .. } => {
+            let r = service.get_threshold(query).map_err(|e| e.to_string())?;
+            let prov = format!(
+                "threshold {}/{} t={} k={}",
+                query.raw_field,
+                query.derived.name(),
+                query.timestep,
+                query.threshold
+            );
+            (r.points, r.breakdown.total_s(), prov)
+        }
+        JobSpec::TopK { query, k, .. } => {
+            let r = service.get_topk(query, *k).map_err(|e| e.to_string())?;
+            let prov = format!(
+                "topk {}/{} t={} k={k}",
+                query.raw_field,
+                query.derived.name(),
+                query.timestep
+            );
+            (r.points, r.breakdown.total_s(), prov)
+        }
+    };
+    let rows = points.len();
+    mydb.put(spec.output_table(), MyDbTable { provenance, points })?;
+    Ok((rows, modelled_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::DerivedField;
+
+    fn small_service(tag: &str) -> Arc<TurbulenceService> {
+        let mut config = ServiceConfig::small_mhd(
+            std::env::temp_dir().join(format!("tdb_batch_{tag}_{}", std::process::id())),
+        );
+        config.dataset = tdb_turbgen::SyntheticDataset::mhd(32, 2, 0xbeef);
+        config.cluster.chunk_atoms = 2;
+        config.cluster.num_nodes = 2;
+        Arc::new(TurbulenceService::build(config).expect("build"))
+    }
+
+    #[test]
+    fn jobs_run_and_results_land_in_mydb() {
+        let service = small_service("run");
+        let session = BatchSession::open(Arc::clone(&service), 10 << 20);
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 30.0);
+        let job = session.submit(JobSpec::Threshold {
+            query: q.clone(),
+            output_table: "intense_t0".into(),
+        });
+        let state = session.wait(job);
+        let JobState::Done { rows, modelled_s } = state else {
+            panic!("job failed: {state:?}");
+        };
+        assert!(modelled_s > 0.0);
+        let table = session.mydb().get("intense_t0").expect("table saved");
+        assert_eq!(table.points.len(), rows);
+        assert!(table.provenance.contains("curl_norm"));
+        // identical to running the query interactively
+        let direct = service.get_threshold(&q).unwrap();
+        assert_eq!(direct.points.len(), rows);
+        session.close();
+    }
+
+    #[test]
+    fn jobs_execute_in_submission_order_and_states_progress() {
+        let service = small_service("order");
+        let session = BatchSession::open(service, 10 << 20);
+        let mk = |t: u32, table: &str| JobSpec::Threshold {
+            query: ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, t, 35.0),
+            output_table: table.into(),
+        };
+        let a = session.submit(mk(0, "a"));
+        let b = session.submit(mk(1, "b"));
+        let c = session.submit(JobSpec::TopK {
+            query: ThresholdQuery::whole_timestep("velocity", DerivedField::QCriterion, 0, 0.0),
+            k: 7,
+            output_table: "c".into(),
+        });
+        assert!(session.wait(a).is_terminal());
+        assert!(session.wait(b).is_terminal());
+        let JobState::Done { rows, .. } = session.wait(c) else {
+            panic!("topk job failed");
+        };
+        assert_eq!(rows, 7);
+        let mut names = session.mydb().list();
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn failed_jobs_report_the_query_error() {
+        let service = small_service("fail");
+        let session = BatchSession::open(service, 10 << 20);
+        let job = session.submit(JobSpec::Threshold {
+            query: ThresholdQuery::whole_timestep("bogus", DerivedField::Norm, 0, 1.0),
+            output_table: "never".into(),
+        });
+        let JobState::Failed(msg) = session.wait(job) else {
+            panic!("expected failure");
+        };
+        assert!(msg.contains("unknown raw field"));
+        assert!(session.mydb().get("never").is_none());
+    }
+
+    #[test]
+    fn mydb_quota_is_enforced() {
+        let service = small_service("quota");
+        // tiny quota: a whole-timestep low-threshold result cannot fit
+        let session = BatchSession::open(service, 256);
+        let job = session.submit(JobSpec::Threshold {
+            query: ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 20.0),
+            output_table: "big".into(),
+        });
+        let JobState::Failed(msg) = session.wait(job) else {
+            panic!("expected quota failure");
+        };
+        assert!(msg.contains("quota"), "{msg}");
+        assert_eq!(session.mydb().used_bytes(), 0);
+    }
+
+    #[test]
+    fn mydb_tables_replace_and_drop() {
+        let db = MyDb::new(10_000);
+        let table = |n: usize| MyDbTable {
+            provenance: "p".into(),
+            points: (0..n as u32)
+                .map(|i| ThresholdPoint::at(i, 0, 0, 1.0))
+                .collect(),
+        };
+        db.put("t", table(100)).unwrap();
+        let used = db.used_bytes();
+        // replacing reclaims the old footprint before checking the quota
+        db.put("t", table(400)).unwrap();
+        assert!(db.used_bytes() > used);
+        assert_eq!(db.list(), vec!["t"]);
+        assert!(db.drop_table("t"));
+        assert!(!db.drop_table("t"));
+        assert_eq!(db.used_bytes(), 0);
+        // quota check on a fresh insert
+        assert!(db.put("huge", table(2000)).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Query and result types.
+
+use tdb_cache::ThresholdPoint;
+use tdb_cluster::{QueryMode, TimeBreakdown};
+use tdb_kernels::DerivedField;
+use tdb_zorder::Box3;
+
+/// Server-side result-size limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Maximum locations a threshold query may return ("currently this
+    /// limit is set conservatively to 10⁶ locations", paper §4).
+    pub max_points: u64,
+}
+
+impl Default for QueryLimits {
+    fn default() -> Self {
+        Self {
+            max_points: 1_000_000,
+        }
+    }
+}
+
+/// A threshold query as submitted by a client.
+#[derive(Debug, Clone)]
+pub struct ThresholdQuery {
+    /// Stored raw field the derived quantity is computed from.
+    pub raw_field: String,
+    /// Derived quantity whose norm is compared against the threshold.
+    pub derived: DerivedField,
+    pub timestep: u32,
+    /// Spatial region; `None` queries the entire time-step (the common
+    /// case in the paper).
+    pub query_box: Option<Box3>,
+    pub threshold: f64,
+    /// Whether to consult/update the semantic cache.
+    pub use_cache: bool,
+    /// Full evaluation or the I/O-only probe of Fig. 8.
+    pub mode: QueryMode,
+    /// Worker processes per node (scaling experiments); `None` uses the
+    /// cluster default.
+    pub procs_override: Option<usize>,
+}
+
+impl ThresholdQuery {
+    /// The typical query: a whole time-step, cache enabled.
+    pub fn whole_timestep(
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            query_box: None,
+            threshold,
+            use_cache: true,
+            mode: QueryMode::Full,
+            procs_override: None,
+        }
+    }
+
+    /// Disables the cache for this query (the paper's "no cache" runs).
+    pub fn without_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+
+    /// Restricts the query to a box.
+    pub fn in_box(mut self, b: Box3) -> Self {
+        self.query_box = Some(b);
+        self
+    }
+
+    /// Overrides the per-node process count.
+    pub fn with_procs(mut self, procs: usize) -> Self {
+        self.procs_override = Some(procs);
+        self
+    }
+}
+
+/// Result of a threshold query.
+#[derive(Debug)]
+pub struct ThresholdResult {
+    /// Locations (Morton-coded) with the field norm at each.
+    pub points: Vec<ThresholdPoint>,
+    /// Modelled/measured execution-time breakdown (Fig. 9 phases).
+    pub breakdown: TimeBreakdown,
+    /// Nodes that answered from their semantic cache.
+    pub cache_hits: usize,
+    /// Nodes that participated.
+    pub nodes: usize,
+    /// Real wall-clock of the in-process evaluation.
+    pub wall_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers_compose() {
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 2, 44.0)
+            .without_cache()
+            .in_box(Box3::cube(32))
+            .with_procs(8);
+        assert!(!q.use_cache);
+        assert_eq!(q.query_box, Some(Box3::cube(32)));
+        assert_eq!(q.procs_override, Some(8));
+        assert_eq!(q.timestep, 2);
+    }
+
+    #[test]
+    fn default_limit_matches_paper() {
+        assert_eq!(QueryLimits::default().max_points, 1_000_000);
+    }
+}

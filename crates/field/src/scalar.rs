@@ -1,0 +1,259 @@
+//! Dense scalar fields.
+
+use tdb_zorder::{AtomCoord, Box3, ATOM_POINTS, ATOM_WIDTH};
+
+/// A dense 3-D `f32` array with x-fastest (Fortran-like first-axis-fastest)
+/// layout: `idx = x + nx * (y + ny * z)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarField {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<f32>,
+}
+
+impl ScalarField {
+    /// Zero-filled field.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        Self {
+            nx,
+            ny,
+            nz,
+            data: vec![0.0; nx * ny * nz],
+        }
+    }
+
+    /// Builds a field from a function of the grid indices.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut s = Self::zeros(nx, ny, nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = s.row_index(0, y, z);
+                for x in 0..nx {
+                    s.data[row + x] = f(x, y, z);
+                }
+            }
+        }
+        s
+    }
+
+    /// Wraps an existing buffer. `data.len()` must equal `nx*ny*nz`.
+    pub fn from_vec(nx: usize, ny: usize, nz: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), nx * ny * nz, "buffer length mismatch");
+        Self { nx, ny, nz, data }
+    }
+
+    /// Extents.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the field has zero points (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn row_index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Value at `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.row_index(x, y, z)]
+    }
+
+    /// Sets the value at `(x, y, z)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.row_index(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Raw storage, x-fastest.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One contiguous x-row.
+    #[inline]
+    pub fn row(&self, y: usize, z: usize) -> &[f32] {
+        let start = self.row_index(0, y, z);
+        &self.data[start..start + self.nx]
+    }
+
+    /// Copies the sub-box `b` (grid coordinates, inclusive) into a new
+    /// field whose origin is `b.lo`.
+    pub fn extract_box(&self, b: &Box3) -> ScalarField {
+        assert!(
+            (b.hi[0] as usize) < self.nx
+                && (b.hi[1] as usize) < self.ny
+                && (b.hi[2] as usize) < self.nz,
+            "box {b:?} outside field {:?}",
+            self.dims()
+        );
+        let [ex, ey, ez] = b.extent();
+        let (ex, ey, ez) = (ex as usize, ey as usize, ez as usize);
+        let mut out = ScalarField::zeros(ex, ey, ez);
+        for z in 0..ez {
+            for y in 0..ey {
+                let src =
+                    self.row_index(b.lo[0] as usize, b.lo[1] as usize + y, b.lo[2] as usize + z);
+                let dst = out.row_index(0, y, z);
+                out.data[dst..dst + ex].copy_from_slice(&self.data[src..src + ex]);
+            }
+        }
+        out
+    }
+
+    /// Extracts one 8³ atom as a 512-element x-fastest payload.
+    ///
+    /// The atom must lie fully inside the field (grid extents are multiples
+    /// of the atom width in every stored dataset).
+    pub fn extract_atom(&self, atom: AtomCoord) -> [f32; ATOM_POINTS] {
+        let (ox, oy, oz) = atom.grid_origin();
+        let (ox, oy, oz) = (ox as usize, oy as usize, oz as usize);
+        assert!(
+            ox + ATOM_WIDTH <= self.nx && oy + ATOM_WIDTH <= self.ny && oz + ATOM_WIDTH <= self.nz,
+            "atom {atom:?} outside field {:?}",
+            self.dims()
+        );
+        let mut out = [0.0f32; ATOM_POINTS];
+        for dz in 0..ATOM_WIDTH {
+            for dy in 0..ATOM_WIDTH {
+                let src = self.row_index(ox, oy + dy, oz + dz);
+                let dst = ATOM_WIDTH * (dy + ATOM_WIDTH * dz);
+                out[dst..dst + ATOM_WIDTH].copy_from_slice(&self.data[src..src + ATOM_WIDTH]);
+            }
+        }
+        out
+    }
+
+    /// Writes an 8³ atom payload into the field at the atom's position.
+    pub fn insert_atom(&mut self, atom: AtomCoord, payload: &[f32]) {
+        assert_eq!(payload.len(), ATOM_POINTS);
+        let (ox, oy, oz) = atom.grid_origin();
+        let (ox, oy, oz) = (ox as usize, oy as usize, oz as usize);
+        assert!(
+            ox + ATOM_WIDTH <= self.nx && oy + ATOM_WIDTH <= self.ny && oz + ATOM_WIDTH <= self.nz,
+            "atom {atom:?} outside field {:?}",
+            self.dims()
+        );
+        for dz in 0..ATOM_WIDTH {
+            for dy in 0..ATOM_WIDTH {
+                let dst = self.row_index(ox, oy + dy, oz + dz);
+                let src = ATOM_WIDTH * (dy + ATOM_WIDTH * dz);
+                self.data[dst..dst + ATOM_WIDTH].copy_from_slice(&payload[src..src + ATOM_WIDTH]);
+            }
+        }
+    }
+
+    /// In-place map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Pointwise combination with another field of identical shape.
+    pub fn zip_inplace(&mut self, other: &ScalarField, mut f: impl FnMut(f32, f32) -> f32) {
+        assert_eq!(self.dims(), other.dims());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp(nx: usize, ny: usize, nz: usize) -> ScalarField {
+        ScalarField::from_fn(nx, ny, nz, |x, y, z| (x + 10 * y + 100 * z) as f32)
+    }
+
+    #[test]
+    fn layout_is_x_fastest() {
+        let f = ramp(4, 3, 2);
+        assert_eq!(f.as_slice()[0], 0.0);
+        assert_eq!(f.as_slice()[1], 1.0); // x+1
+        assert_eq!(f.as_slice()[4], 10.0); // y+1
+        assert_eq!(f.as_slice()[12], 100.0); // z+1
+        assert_eq!(f.get(3, 2, 1), 123.0);
+        assert_eq!(f.row(2, 1), &[120.0, 121.0, 122.0, 123.0]);
+    }
+
+    #[test]
+    fn extract_box_preserves_values() {
+        let f = ramp(8, 8, 8);
+        let b = Box3::new([2, 3, 4], [5, 6, 7]);
+        let sub = f.extract_box(&b);
+        assert_eq!(sub.dims(), (4, 4, 4));
+        for (x, y, z) in b.points() {
+            let v = sub.get(
+                (x - b.lo[0]) as usize,
+                (y - b.lo[1]) as usize,
+                (z - b.lo[2]) as usize,
+            );
+            assert_eq!(v, f.get(x as usize, y as usize, z as usize));
+        }
+    }
+
+    #[test]
+    fn atom_roundtrip() {
+        let f = ramp(16, 16, 16);
+        let atom = AtomCoord::new(1, 0, 1);
+        let payload = f.extract_atom(atom);
+        let mut g = ScalarField::zeros(16, 16, 16);
+        g.insert_atom(atom, &payload);
+        for (gx, gy, gz) in atom.grid_points() {
+            assert_eq!(
+                g.get(gx as usize, gy as usize, gz as usize),
+                f.get(gx as usize, gy as usize, gz as usize)
+            );
+        }
+        assert_eq!(g.get(0, 0, 0), 0.0); // untouched elsewhere
+    }
+
+    #[test]
+    #[should_panic(expected = "outside field")]
+    fn extract_atom_checks_bounds() {
+        let f = ramp(8, 8, 8);
+        let _ = f.extract_atom(AtomCoord::new(1, 0, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn get_set_roundtrip(x in 0usize..6, y in 0usize..5, z in 0usize..4, v in -1e6f32..1e6) {
+            let mut f = ScalarField::zeros(6, 5, 4);
+            f.set(x, y, z, v);
+            prop_assert_eq!(f.get(x, y, z), v);
+            prop_assert_eq!(f.as_slice().iter().filter(|&&w| w != 0.0).count(),
+                            usize::from(v != 0.0));
+        }
+    }
+}

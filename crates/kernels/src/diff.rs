@@ -1,0 +1,384 @@
+//! Grid-aware differentiation.
+//!
+//! A [`DiffScheme`] binds a finite-difference order to a grid: periodic
+//! uniform axes get one centred stencil (ghost data comes from the halo),
+//! wall-bounded or stretched axes get a per-node stencil table with
+//! one-sided stencils near the walls.
+
+use crate::fd::{FdOrder, Stencil};
+use tdb_field::{Grid3, PaddedScalar, PaddedVector, ScalarField, Spacing, VectorField};
+
+#[derive(Debug, Clone)]
+enum AxisScheme {
+    /// Uniform periodic axis: one stencil for every node.
+    PeriodicUniform(Stencil),
+    /// Bounded (and possibly stretched) axis: a stencil per global node.
+    Bounded(Vec<Stencil>),
+}
+
+impl AxisScheme {
+    fn stencil(&self, global: usize) -> &Stencil {
+        match self {
+            AxisScheme::PeriodicUniform(s) => s,
+            AxisScheme::Bounded(table) => &table[global],
+        }
+    }
+}
+
+/// First- and second-derivative scheme for a specific grid and order.
+#[derive(Debug, Clone)]
+pub struct DiffScheme {
+    order: FdOrder,
+    axes: [AxisScheme; 3],
+    /// Second-derivative stencils (Laplacian).
+    axes2: [AxisScheme; 3],
+    dims: (usize, usize, usize),
+}
+
+impl DiffScheme {
+    /// Builds the scheme for `grid` at the given accuracy order.
+    pub fn new(grid: &Grid3, order: FdOrder) -> Self {
+        let build = |second: bool| {
+            std::array::from_fn(|ax| {
+                let spacing = grid.spacing(ax);
+                match (grid.periodic[ax], spacing) {
+                    (true, Spacing::Uniform(h)) => AxisScheme::PeriodicUniform(if second {
+                        Stencil::centered_second(order, *h)
+                    } else {
+                        Stencil::centered(order, *h)
+                    }),
+                    (true, Spacing::Stretched(_)) => {
+                        panic!("periodic stretched axes are not supported")
+                    }
+                    (false, _) => {
+                        let n = grid.extent(ax);
+                        let coords: Vec<f64> = (0..n).map(|i| spacing.coord(i)).collect();
+                        AxisScheme::Bounded(
+                            (0..n)
+                                .map(|i| {
+                                    if second {
+                                        Stencil::at_node_second(order, &coords, i)
+                                    } else {
+                                        Stencil::at_node(order, &coords, i)
+                                    }
+                                })
+                                .collect(),
+                        )
+                    }
+                }
+            })
+        };
+        Self {
+            order,
+            axes: build(false),
+            axes2: build(true),
+            dims: grid.dims(),
+        }
+    }
+
+    /// Accuracy order.
+    pub fn order(&self) -> FdOrder {
+        self.order
+    }
+
+    /// Halo half-width a computation domain needs on every side.
+    ///
+    /// One-sided wall stencils only reach *into* the domain, so the halo
+    /// requirement is the centred half-width on all axes.
+    pub fn halo(&self) -> usize {
+        self.order.half_width()
+    }
+
+    /// ∂f/∂axis over the interior of a padded chunk whose interior origin
+    /// sits at global grid coordinates `origin`.
+    pub fn deriv_padded(&self, f: &PaddedScalar, axis: usize, origin: [usize; 3]) -> ScalarField {
+        self.apply_axis(&self.axes, f, axis, origin)
+    }
+
+    /// ∂²f/∂axis² over the interior of a padded chunk.
+    pub fn deriv2_padded(&self, f: &PaddedScalar, axis: usize, origin: [usize; 3]) -> ScalarField {
+        self.apply_axis(&self.axes2, f, axis, origin)
+    }
+
+    fn apply_axis(
+        &self,
+        table: &[AxisScheme; 3],
+        f: &PaddedScalar,
+        axis: usize,
+        origin: [usize; 3],
+    ) -> ScalarField {
+        assert!(axis < 3);
+        let (nx, ny, nz) = f.dims();
+        self.check_bounded_reach(
+            table,
+            axis,
+            origin[axis],
+            match axis {
+                0 => nx,
+                1 => ny,
+                _ => nz,
+            },
+            f.halo(),
+        );
+        let mut out = ScalarField::zeros(nx, ny, nz);
+        let scheme = &table[axis];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let global = origin[axis]
+                        + match axis {
+                            0 => x,
+                            1 => y,
+                            _ => z,
+                        };
+                    let s = scheme.stencil(global);
+                    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                    let d = s.apply(|o| {
+                        let v = match axis {
+                            0 => f.get(xi + o, yi, zi),
+                            1 => f.get(xi, yi + o, zi),
+                            _ => f.get(xi, yi, zi + o),
+                        };
+                        f64::from(v)
+                    });
+                    out.set(x, y, z, d as f32);
+                }
+            }
+        }
+        out
+    }
+
+    /// For bounded axes, panics unless every stencil used inside the chunk
+    /// stays within the available data (interior + halo).
+    fn check_bounded_reach(
+        &self,
+        axes: &[AxisScheme; 3],
+        axis: usize,
+        origin: usize,
+        extent: usize,
+        halo: usize,
+    ) {
+        if let AxisScheme::Bounded(table) = &axes[axis] {
+            for local in 0..extent {
+                let s = &table[origin + local];
+                for &o in &s.offsets {
+                    let target = local as isize + o;
+                    assert!(
+                        target >= -(halo as isize) && target < (extent + halo) as isize,
+                        "stencil at global node {} reaches outside chunk+halo",
+                        origin + local
+                    );
+                }
+            }
+        }
+    }
+
+    /// Full velocity-gradient tensor `∂u_i/∂x_j` (row-major: index `3i+j`).
+    pub fn grad_padded(&self, v: &PaddedVector<3>, origin: [usize; 3]) -> [ScalarField; 9] {
+        std::array::from_fn(|k| self.deriv_padded(v.comp(k / 3), k % 3, origin))
+    }
+
+    /// Curl of a padded vector field:
+    /// `(∂v_z/∂y − ∂v_y/∂z, ∂v_x/∂z − ∂v_z/∂x, ∂v_y/∂x − ∂v_x/∂y)`.
+    pub fn curl_padded(&self, v: &PaddedVector<3>, origin: [usize; 3]) -> VectorField<3> {
+        let dzy = self.deriv_padded(v.comp(2), 1, origin);
+        let mut cx = dzy;
+        cx.zip_inplace(&self.deriv_padded(v.comp(1), 2, origin), |a, b| a - b);
+        let dxz = self.deriv_padded(v.comp(0), 2, origin);
+        let mut cy = dxz;
+        cy.zip_inplace(&self.deriv_padded(v.comp(2), 0, origin), |a, b| a - b);
+        let dyx = self.deriv_padded(v.comp(1), 0, origin);
+        let mut cz = dyx;
+        cz.zip_inplace(&self.deriv_padded(v.comp(0), 1, origin), |a, b| a - b);
+        VectorField::from_components([cx, cy, cz])
+    }
+
+    /// Divergence of a padded vector field.
+    pub fn divergence_padded(&self, v: &PaddedVector<3>, origin: [usize; 3]) -> ScalarField {
+        let mut out = self.deriv_padded(v.comp(0), 0, origin);
+        out.zip_inplace(&self.deriv_padded(v.comp(1), 1, origin), |a, b| a + b);
+        out.zip_inplace(&self.deriv_padded(v.comp(2), 2, origin), |a, b| a + b);
+        out
+    }
+
+    /// Laplacian of a padded scalar field (sum of second derivatives).
+    pub fn laplacian_padded(&self, f: &PaddedScalar, origin: [usize; 3]) -> ScalarField {
+        let mut out = self.deriv2_padded(f, 0, origin);
+        out.zip_inplace(&self.deriv2_padded(f, 1, origin), |a, b| a + b);
+        out.zip_inplace(&self.deriv2_padded(f, 2, origin), |a, b| a + b);
+        out
+    }
+
+    /// Pads a whole periodic field and returns its curl — convenience for
+    /// single-machine analysis and tests. The field must span the grid this
+    /// scheme was built for.
+    pub fn curl(&self, v: &VectorField<3>) -> VectorField<3> {
+        let p = self.pad_whole(v);
+        self.curl_padded(&p, [0, 0, 0])
+    }
+
+    /// Whole-field periodic divergence (see [`DiffScheme::curl`]).
+    pub fn divergence(&self, v: &VectorField<3>) -> ScalarField {
+        let p = self.pad_whole(v);
+        self.divergence_padded(&p, [0, 0, 0])
+    }
+
+    /// Whole-field periodic velocity gradient (see [`DiffScheme::curl`]).
+    pub fn gradient(&self, v: &VectorField<3>) -> [ScalarField; 9] {
+        let p = self.pad_whole(v);
+        self.grad_padded(&p, [0, 0, 0])
+    }
+
+    fn pad_whole(&self, v: &VectorField<3>) -> PaddedVector<3> {
+        assert_eq!(v.dims(), self.dims, "field does not span the scheme's grid");
+        let (nx, ny, nz) = v.dims();
+        let mut p = PaddedVector::zeros(nx, ny, nz, self.halo());
+        p.fill_periodic_from(v, [0, 0, 0]);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+    use tdb_field::ScalarField;
+
+    fn wave_field(n: usize) -> (Grid3, VectorField<3>) {
+        let grid = Grid3::periodic_cube(n, TAU);
+        let h = TAU / n as f64;
+        let f = |k: f64, i: usize| (k * h * i as f64).sin() as f32;
+        let vx = ScalarField::from_fn(n, n, n, |_, y, _| f(1.0, y));
+        let vy = ScalarField::from_fn(n, n, n, |_, _, z| f(2.0, z));
+        let vz = ScalarField::from_fn(n, n, n, |x, _, _| f(3.0, x));
+        (grid, VectorField::from_components([vx, vy, vz]))
+    }
+
+    #[test]
+    fn curl_of_waves_matches_analytic() {
+        let n = 48;
+        let (grid, v) = wave_field(n);
+        let scheme = DiffScheme::new(&grid, FdOrder::O6);
+        let c = scheme.curl(&v);
+        let h = TAU / n as f64;
+        // vx = sin(y), vy = sin(2z), vz = sin(3x)
+        // curl = (0 - 2cos(2z), 0 - 3cos(3x), 0 - cos(y))
+        let mut max_err = 0.0f64;
+        for z in (0..n).step_by(5) {
+            for y in (0..n).step_by(5) {
+                for x in (0..n).step_by(5) {
+                    let ex = -2.0 * (2.0 * h * z as f64).cos();
+                    let ey = -3.0 * (3.0 * h * x as f64).cos();
+                    let ez = -(h * y as f64).cos();
+                    let got = c.at(x, y, z);
+                    max_err = max_err
+                        .max((f64::from(got[0]) - ex).abs())
+                        .max((f64::from(got[1]) - ey).abs())
+                        .max((f64::from(got[2]) - ez).abs());
+                }
+            }
+        }
+        assert!(max_err < 1e-4, "max err {max_err}");
+    }
+
+    #[test]
+    fn divergence_of_curl_is_zero() {
+        // discrete identity: centred differences commute, so div(curl f) = 0
+        // to machine precision for any periodic field.
+        let n = 16;
+        let grid = Grid3::periodic_cube(n, TAU);
+        let mk = |seed: u32| {
+            ScalarField::from_fn(n, n, n, |x, y, z| {
+                let v = (x as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((y as u32).wrapping_mul(40503))
+                    .wrapping_add((z as u32).wrapping_mul(9973))
+                    .wrapping_add(seed.wrapping_mul(7919));
+                ((v >> 8) as f32 / 16777216.0) - 0.5
+            })
+        };
+        let v = VectorField::from_components([mk(1), mk(2), mk(3)]);
+        for order in FdOrder::all() {
+            let scheme = DiffScheme::new(&grid, order);
+            let c = scheme.curl(&v);
+            let d = scheme.divergence(&c);
+            let max = d.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            assert!(max < 2e-4, "order {:?}: max |div curl| = {max}", order);
+        }
+    }
+
+    #[test]
+    fn gradient_layout_is_row_major() {
+        let n = 16;
+        let grid = Grid3::periodic_cube(n, TAU);
+        let h = TAU / n as f64;
+        // u = (sin x, 0, 0): only ∂u_x/∂x nonzero (index 0)
+        let vx = ScalarField::from_fn(n, n, n, |x, _, _| (h * x as f64).sin() as f32);
+        let v = VectorField::from_components([
+            vx,
+            ScalarField::zeros(n, n, n),
+            ScalarField::zeros(n, n, n),
+        ]);
+        let g = DiffScheme::new(&grid, FdOrder::O4).gradient(&v);
+        assert!((f64::from(g[0].get(0, 3, 3)) - 1.0).abs() < 1e-3);
+        for (k, comp) in g.iter().enumerate().skip(1) {
+            let max = comp.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            assert!(max < 1e-5, "component {k} should vanish, max {max}");
+        }
+    }
+
+    #[test]
+    fn chunked_derivative_equals_whole_field() {
+        let n = 32;
+        let (grid, v) = wave_field(n);
+        let scheme = DiffScheme::new(&grid, FdOrder::O4);
+        let whole = scheme.curl(&v);
+        // evaluate an interior chunk with halo and compare
+        let origin = [8usize, 16, 4];
+        let (cx, cy, cz) = (8usize, 8, 8);
+        let mut p = PaddedVector::zeros(cx, cy, cz, scheme.halo());
+        p.fill_periodic_from(&v, origin);
+        let chunk = scheme.curl_padded(&p, origin);
+        for z in 0..cz {
+            for y in 0..cy {
+                for x in 0..cx {
+                    let w = whole.at(origin[0] + x, origin[1] + y, origin[2] + z);
+                    let c = chunk.at(x, y, z);
+                    for k in 0..3 {
+                        assert!(
+                            (w[k] - c[k]).abs() < 1e-6,
+                            "mismatch at ({x},{y},{z}) comp {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_axis_derivative_on_channel_grid() {
+        // f(y) = y^2 on the stretched channel axis; df/dy = 2y exactly
+        // (order >= 2 is exact for quadratics).
+        let grid = Grid3::channel(8, 33, 8, TAU, TAU, 1.7);
+        let scheme = DiffScheme::new(&grid, FdOrder::O4);
+        let ys: Vec<f64> = (0..33).map(|j| grid.sy.coord(j)).collect();
+        let f = ScalarField::from_fn(8, 33, 8, |_, y, _| (ys[y] * ys[y]) as f32);
+        // whole-domain "chunk": halo only used on periodic axes
+        let mut p = PaddedScalar::zeros(8, 33, 8, scheme.halo());
+        p.fill(|x, y, z| {
+            let xi = x.rem_euclid(8) as usize;
+            let zi = z.rem_euclid(8) as usize;
+            let yi = y.clamp(0, 32) as usize; // clamped ghosts never read on axis 1
+            f.get(xi, yi, zi)
+        });
+        let d = scheme.deriv_padded(&p, 1, [0, 0, 0]);
+        for (j, &yj) in ys.iter().enumerate() {
+            let got = f64::from(d.get(3, j, 3));
+            assert!(
+                (got - 2.0 * yj).abs() < 1e-4,
+                "node {j}: {got} vs {}",
+                2.0 * yj
+            );
+        }
+    }
+}

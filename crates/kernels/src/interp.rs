@@ -1,0 +1,165 @@
+//! Lagrange interpolation at off-grid target locations.
+//!
+//! The JHTDB's point queries (`GetVelocity` and friends) interpolate the
+//! stored fields at arbitrary locations with 4-, 6- or 8-point Lagrange
+//! polynomials per axis (paper §2 lists interpolation among the built-in
+//! routines). Threshold queries do not interpolate, but the local
+//! evaluation baseline and the example applications do.
+
+use tdb_field::PaddedVector;
+
+/// Lagrange interpolation stencil width per axis (Lag4/Lag6/Lag8 in JHTDB
+/// nomenclature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LagOrder {
+    Lag4,
+    Lag6,
+    Lag8,
+}
+
+impl LagOrder {
+    /// Points per axis.
+    pub fn width(self) -> usize {
+        match self {
+            LagOrder::Lag4 => 4,
+            LagOrder::Lag6 => 6,
+            LagOrder::Lag8 => 8,
+        }
+    }
+
+    /// Halo needed when the target may fall anywhere inside a chunk.
+    pub fn halo(self) -> usize {
+        self.width() / 2
+    }
+}
+
+/// 1-D Lagrange basis weights at fractional offset `t ∈ [0, 1)` between
+/// node `w/2 - 1` and node `w/2` of a `w`-point stencil.
+fn lagrange_weights(order: LagOrder, t: f64) -> Vec<f64> {
+    let w = order.width();
+    let base = w as isize / 2 - 1;
+    // node coordinates relative to the left-centre node
+    let xs: Vec<f64> = (0..w).map(|j| j as f64 - base as f64).collect();
+    let x = t;
+    (0..w)
+        .map(|j| {
+            let mut num = 1.0;
+            let mut den = 1.0;
+            for k in 0..w {
+                if k != j {
+                    num *= x - xs[k];
+                    den *= xs[j] - xs[k];
+                }
+            }
+            num / den
+        })
+        .collect()
+}
+
+/// Interpolates all `C` components of a padded chunk at a fractional
+/// location given in *local grid units* relative to the chunk interior
+/// origin (e.g. `(1.5, 0.25, 3.0)`).
+pub fn interpolate<const C: usize>(
+    field: &PaddedVector<C>,
+    order: LagOrder,
+    pos: [f64; 3],
+) -> [f32; C] {
+    let w = order.width();
+    let base_off = w as isize / 2 - 1;
+    let mut cells = [0isize; 3];
+    let mut ws: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for ax in 0..3 {
+        let floor = pos[ax].floor();
+        cells[ax] = floor as isize;
+        ws[ax] = lagrange_weights(order, pos[ax] - floor);
+    }
+    let mut out = [0.0f32; C];
+    for (c, o) in out.iter_mut().enumerate() {
+        let comp = field.comp(c);
+        let mut acc = 0.0f64;
+        for (kz, wz) in ws[2].iter().enumerate() {
+            for (ky, wy) in ws[1].iter().enumerate() {
+                for (kx, wx) in ws[0].iter().enumerate() {
+                    let v = comp.get(
+                        cells[0] - base_off + kx as isize,
+                        cells[1] - base_off + ky as isize,
+                        cells[2] - base_off + kz as isize,
+                    );
+                    acc += wx * wy * wz * f64::from(v);
+                }
+            }
+        }
+        *o = acc as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for order in [LagOrder::Lag4, LagOrder::Lag6, LagOrder::Lag8] {
+            for &t in &[0.0, 0.25, 0.5, 0.99] {
+                let w = lagrange_weights(order, t);
+                assert_eq!(w.len(), order.width());
+                let s: f64 = w.iter().sum();
+                assert!((s - 1.0).abs() < 1e-10, "{order:?} t={t}: sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn on_node_interpolation_is_exact() {
+        let mut f: PaddedVector<1> = PaddedVector::zeros(8, 8, 8, 4);
+        f.comp_mut(0).fill(|x, y, z| (x + 10 * y + 100 * z) as f32);
+        for order in [LagOrder::Lag4, LagOrder::Lag6, LagOrder::Lag8] {
+            let v = interpolate(&f, order, [3.0, 2.0, 5.0]);
+            assert!((v[0] - 523.0).abs() < 1e-3, "{order:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn linear_field_is_reproduced_exactly_off_node() {
+        let mut f: PaddedVector<1> = PaddedVector::zeros(8, 8, 8, 4);
+        f.comp_mut(0).fill(|x, y, z| (2 * x - 3 * y + z) as f32);
+        let v = interpolate(&f, LagOrder::Lag4, [1.5, 2.25, 3.75]);
+        let expect = 2.0 * 1.5 - 3.0 * 2.25 + 3.75;
+        assert!((f64::from(v[0]) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn higher_order_is_more_accurate_for_smooth_fields() {
+        let n = 16usize;
+        let h = std::f64::consts::TAU / n as f64;
+        let g = |x: f64| (x * h).sin();
+        let mut f: PaddedVector<1> = PaddedVector::zeros(n, n, n, 4);
+        f.comp_mut(0).fill(|x, _, _| g(x as f64) as f32);
+        let target = [7.37, 3.0, 3.0];
+        let exact = g(7.37);
+        let mut prev = f64::INFINITY;
+        for order in [LagOrder::Lag4, LagOrder::Lag6, LagOrder::Lag8] {
+            let got = f64::from(interpolate(&f, order, target)[0]);
+            let err = (got - exact).abs();
+            assert!(err <= prev * 1.5, "{order:?}: err {err} vs prev {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_is_within_local_bounds_for_linear_fields(
+            px in 2.0f64..5.0, py in 2.0f64..5.0, pz in 2.0f64..5.0
+        ) {
+            // linear fields: interpolant must equal the field (exactness),
+            // hence trivially within bounds of the corner values.
+            let mut f: PaddedVector<1> = PaddedVector::zeros(8, 8, 8, 4);
+            f.comp_mut(0).fill(|x, y, z| (x + y + z) as f32);
+            let v = f64::from(interpolate(&f, LagOrder::Lag6, [px, py, pz])[0]);
+            prop_assert!((v - (px + py + pz)).abs() < 1e-4);
+        }
+    }
+}

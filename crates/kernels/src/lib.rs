@@ -1,0 +1,27 @@
+//! Kernel computations for derived fields.
+//!
+//! "A kernel computation computes the value at a grid location using the
+//! data points at a set of neighboring locations" (paper §1). This crate
+//! implements every kernel the threshold-query engine derives fields with:
+//!
+//! * [`fd`] — finite-difference stencils (centred orders 2/4/6/8, plus
+//!   one-sided boundary stencils generated with Fornberg's algorithm, which
+//!   also covers the channel-flow stretched `y` axis),
+//! * [`diff`] — grid-aware differentiation schemes (∂/∂x, gradient, curl,
+//!   divergence, Laplacian),
+//! * [`derived`] — the catalogue of derived fields users can threshold
+//!   (vorticity, Q- and R-invariants, strain rate, …) with their kernel
+//!   half-widths,
+//! * [`filter`] — box and Gaussian spatial filtering,
+//! * [`interp`] — Lagrange interpolation (the JHTDB `GetVelocity`-style
+//!   point queries).
+
+pub mod derived;
+pub mod diff;
+pub mod fd;
+pub mod filter;
+pub mod interp;
+
+pub use derived::DerivedField;
+pub use diff::DiffScheme;
+pub use fd::FdOrder;

@@ -1,0 +1,236 @@
+//! Shared LRU block cache — the node's buffer pool.
+//!
+//! "SQL Server also benefits from a larger buffer pool, which reduces the
+//! I/O time" (paper §5.3). Blocks read from partition files land here;
+//! hits cost no device charge, so the modelled I/O time of a warm scan
+//! shrinks exactly the way a real buffer pool would shrink it.
+//!
+//! The pool is generic over the cached value so callers can cache the
+//! *decoded* form of a block (checksum verified and records parsed once,
+//! on the miss path) while the eviction budget still tracks the on-disk
+//! footprint through [`PoolValue::weight`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::device::IoSession;
+use crate::error::StorageResult;
+
+/// Cache key: a block within a partition file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    pub file_id: u64,
+    pub block_no: u32,
+}
+
+/// A value the pool can hold: cheap to clone, with a byte weight for the
+/// eviction budget.
+pub trait PoolValue: Clone {
+    /// Bytes this entry accounts against the pool capacity.
+    fn weight(&self) -> usize;
+}
+
+impl PoolValue for Bytes {
+    fn weight(&self) -> usize {
+        self.len()
+    }
+}
+
+struct PoolInner<V> {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    clock: u64,
+    blocks: HashMap<BlockKey, (V, u64)>,
+    lru: BTreeMap<u64, BlockKey>,
+}
+
+/// A byte-bounded LRU cache of partition blocks, shared by all worker
+/// processes of a node. Loads happen under the pool lock, which also
+/// serialises concurrent misses the way a single set of disks would.
+pub struct BufferPool<V: PoolValue = Bytes> {
+    inner: Mutex<PoolInner<V>>,
+}
+
+impl<V: PoolValue> BufferPool<V> {
+    /// Pool bounded at `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(PoolInner {
+                capacity_bytes,
+                used_bytes: 0,
+                clock: 0,
+                blocks: HashMap::new(),
+                lru: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Returns the cached block or loads it via `load`, charging the miss
+    /// to `session` inside `load` (the loader performs the device charge).
+    pub fn get_or_load(
+        &self,
+        key: BlockKey,
+        session: &mut IoSession,
+        load: impl FnOnce(&mut IoSession) -> StorageResult<V>,
+    ) -> StorageResult<V> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some((data, stamp)) = inner.blocks.get_mut(&key) {
+            let data = data.clone();
+            let old = *stamp;
+            *stamp = now;
+            inner.lru.remove(&old);
+            inner.lru.insert(now, key);
+            session.pool_hits += 1;
+            return Ok(data);
+        }
+        let data = load(session)?;
+        session.pool_misses += 1;
+        inner.used_bytes += data.weight();
+        inner.blocks.insert(key, (data.clone(), now));
+        inner.lru.insert(now, key);
+        while inner.used_bytes > inner.capacity_bytes && inner.blocks.len() > 1 {
+            let (&oldest, &victim) = inner.lru.iter().next().expect("lru nonempty");
+            inner.lru.remove(&oldest);
+            if let Some((evicted, _)) = inner.blocks.remove(&victim) {
+                inner.used_bytes -= evicted.weight();
+            }
+        }
+        Ok(data)
+    }
+
+    /// Drops every cached block (cold-cache experiment setup).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.blocks.clear();
+        inner.lru.clear();
+        inner.used_bytes = 0;
+    }
+
+    /// Bytes currently cached (by [`PoolValue::weight`]).
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().blocks.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey {
+            file_id: 1,
+            block_no: i,
+        }
+    }
+
+    fn load_n(n: usize) -> impl FnOnce(&mut IoSession) -> StorageResult<Bytes> {
+        move |_s| Ok(Bytes::from(vec![0u8; n]))
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let pool: BufferPool = BufferPool::new(1024);
+        let mut s = IoSession::new();
+        let a = pool.get_or_load(key(0), &mut s, load_n(10)).unwrap();
+        let b = pool
+            .get_or_load(key(0), &mut s, |_| panic!("must not reload"))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!((s.pool_hits, s.pool_misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_lru_order() {
+        let pool: BufferPool = BufferPool::new(25);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, load_n(10)).unwrap();
+        pool.get_or_load(key(1), &mut s, load_n(10)).unwrap();
+        // touch 0 so 1 becomes the LRU victim
+        pool.get_or_load(key(0), &mut s, |_| panic!("hit expected"))
+            .unwrap();
+        pool.get_or_load(key(2), &mut s, load_n(10)).unwrap(); // evicts 1
+        assert_eq!(pool.len(), 2);
+        // key 0 survived the eviction (it was recently touched) ...
+        pool.get_or_load(key(0), &mut s, |_| panic!("hit expected"))
+            .unwrap();
+        // ... while key 1 (the LRU victim) must reload
+        let mut reloaded = false;
+        pool.get_or_load(key(1), &mut s, |_| {
+            reloaded = true;
+            Ok(Bytes::from_static(&[0; 10]))
+        })
+        .unwrap();
+        assert!(reloaded, "key 1 should have been evicted");
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let pool: BufferPool = BufferPool::new(1024);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, load_n(10)).unwrap();
+        assert!(!pool.is_empty());
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_block_still_cacheable_once() {
+        // a single block larger than capacity is admitted (len > 1 guard)
+        let pool: BufferPool = BufferPool::new(5);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, load_n(50)).unwrap();
+        assert_eq!(pool.len(), 1);
+        pool.get_or_load(key(1), &mut s, load_n(50)).unwrap();
+        assert_eq!(pool.len(), 1, "previous oversized block evicted");
+    }
+
+    #[test]
+    fn load_error_propagates_and_does_not_cache() {
+        let pool: BufferPool = BufferPool::new(100);
+        let mut s = IoSession::new();
+        let r = pool.get_or_load(key(0), &mut s, |_| {
+            Err(crate::error::StorageError::KeyOrder { detail: "x".into() })
+        });
+        assert!(r.is_err());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn custom_pool_value_weight_drives_eviction() {
+        #[derive(Clone, PartialEq, Debug)]
+        struct Weighted(u32, usize);
+        impl PoolValue for Weighted {
+            fn weight(&self) -> usize {
+                self.1
+            }
+        }
+        let pool: BufferPool<Weighted> = BufferPool::new(100);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, |_| Ok(Weighted(0, 60)))
+            .unwrap();
+        pool.get_or_load(key(1), &mut s, |_| Ok(Weighted(1, 60)))
+            .unwrap();
+        // 120 > 100: key 0 evicted
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.used_bytes(), 60);
+        let v = pool
+            .get_or_load(key(1), &mut s, |_| panic!("hit expected"))
+            .unwrap();
+        assert_eq!(v, Weighted(1, 60));
+    }
+}

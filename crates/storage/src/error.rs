@@ -1,0 +1,85 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file-system failure.
+    Io(std::io::Error),
+    /// A block or footer failed validation.
+    Corrupt { file: String, detail: String },
+    /// Bulk-load input violated the sorted-unique-key contract.
+    KeyOrder { detail: String },
+    /// A record payload did not match the table's component count.
+    SchemaMismatch { expected_ncomp: u8, got_ncomp: u8 },
+    /// Data that should have been ingested was not found.
+    MissingData { detail: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt { file, detail } => {
+                write!(f, "corrupt partition file {file}: {detail}")
+            }
+            StorageError::KeyOrder { detail } => {
+                write!(f, "bulk-load key order violation: {detail}")
+            }
+            StorageError::SchemaMismatch {
+                expected_ncomp,
+                got_ncomp,
+            } => write!(
+                f,
+                "schema mismatch: table stores {expected_ncomp} components, record has {got_ncomp}"
+            ),
+            StorageError::MissingData { detail } => write!(f, "missing data: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::Corrupt {
+            file: "part_3.tdb".into(),
+            detail: "bad crc".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("part_3.tdb") && s.contains("bad crc"));
+        let e = StorageError::SchemaMismatch {
+            expected_ncomp: 3,
+            got_ncomp: 1,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

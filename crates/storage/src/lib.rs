@@ -1,0 +1,37 @@
+//! The per-node storage engine.
+//!
+//! Each JHTDB database node stores its share of the simulation in tables
+//! "partitioned spatially along contiguous ranges of the Morton z-curve",
+//! with "the data for each partition resid\[ing\] in one database file"
+//! striped over four RAID-5 disk arrays, plus SSD-resident cache tables
+//! queried under snapshot isolation (paper §2, §4, §5.1). This crate is
+//! that engine, built from scratch:
+//!
+//! * [`record`] — the `(timestep, zindex) → atom payload` record format,
+//! * [`block`] — checksummed block encoding (CRC-32),
+//! * [`sstable`] — immutable sorted partition files with a fence index
+//!   (the clustered index of the paper: lookups are key-range scans),
+//! * [`bufferpool`] — a shared LRU block cache (SQL Server's buffer pool),
+//! * [`table`] — a partitioned table spread over disk arrays,
+//! * [`device`] — device profiles and per-query I/O accounting used by the
+//!   evaluation's modelled time breakdown (DESIGN.md §4),
+//! * [`mvcc`] — a multi-version store with snapshot isolation for the
+//!   mutable cache tables.
+
+pub mod block;
+pub mod bufferpool;
+pub mod device;
+pub mod error;
+pub mod mvcc;
+pub mod record;
+pub mod sstable;
+pub mod table;
+
+pub use block::checksum;
+pub use bufferpool::BufferPool;
+pub use device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
+pub use error::{StorageError, StorageResult};
+pub use mvcc::{CommitError, MvccStore, Txn};
+pub use record::{AtomKey, AtomRecord};
+pub use sstable::{BlockCache, DecodedBlock, PartitionReader, PartitionWriter};
+pub use table::{Table, TableBuilder};

@@ -1,0 +1,382 @@
+//! Multi-version store with snapshot isolation.
+//!
+//! "All modifications of and queries to the cache are executed within a
+//! transaction with snapshot isolation level to avoid dirty-reads or an
+//! inconsistent view of the cache ... \[and\] to avoid locking the tables"
+//! (paper §4). The cache tables (`cacheInfo`, `cacheData`) live in stores
+//! like this one: readers see a frozen snapshot, writers never block
+//! readers, and write-write conflicts abort the later committer
+//! (first-committer-wins).
+
+use std::collections::BTreeMap;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Commit failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// Another transaction committed a conflicting write after this
+    /// transaction's snapshot was taken.
+    WriteConflict,
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::WriteConflict => write!(f, "snapshot-isolation write-write conflict"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+#[derive(Debug, Clone)]
+struct Version<V> {
+    begin: u64,
+    end: u64,
+    /// `None` is a tombstone.
+    value: Option<V>,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    clock: u64,
+    rows: BTreeMap<K, Vec<Version<V>>>,
+}
+
+/// A snapshot-isolated multi-version key-value store.
+#[derive(Debug, Clone)]
+pub struct MvccStore<K, V> {
+    inner: Arc<Mutex<Inner<K, V>>>,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for MvccStore<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> MvccStore<K, V> {
+    /// Empty store at timestamp 0.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                clock: 0,
+                rows: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Starts a transaction whose reads all observe the current snapshot.
+    pub fn begin(&self) -> Txn<K, V> {
+        let snapshot = self.inner.lock().clock;
+        Txn {
+            store: self.clone(),
+            snapshot,
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Current commit timestamp.
+    pub fn now(&self) -> u64 {
+        self.inner.lock().clock
+    }
+
+    /// Drops versions no longer visible to any snapshot at or after
+    /// `horizon`, and rows that are fully dead.
+    pub fn gc(&self, horizon: u64) {
+        let mut inner = self.inner.lock();
+        inner.rows.retain(|_, versions| {
+            versions.retain(|v| v.end > horizon);
+            versions.iter().any(|v| v.value.is_some())
+        });
+    }
+
+    /// Number of live rows at the latest snapshot.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        let now = inner.clock;
+        inner
+            .rows
+            .values()
+            .filter(|vs| visible(vs, now).is_some())
+            .count()
+    }
+
+    /// Whether no rows are visible at the latest snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn visible<V>(versions: &[Version<V>], snapshot: u64) -> Option<&V> {
+    versions
+        .iter()
+        .rev()
+        .find(|v| v.begin <= snapshot && snapshot < v.end)
+        .and_then(|v| v.value.as_ref())
+}
+
+/// An open transaction. Dropping it without `commit` aborts it.
+pub struct Txn<K: Ord + Clone, V: Clone> {
+    store: MvccStore<K, V>,
+    snapshot: u64,
+    writes: BTreeMap<K, Option<V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> Txn<K, V> {
+    /// Snapshot timestamp of this transaction.
+    pub fn snapshot(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// Reads a key: own uncommitted writes first, then the snapshot.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if let Some(w) = self.writes.get(key) {
+            return w.clone();
+        }
+        let inner = self.store.inner.lock();
+        inner
+            .rows
+            .get(key)
+            .and_then(|vs| visible(vs, self.snapshot))
+            .cloned()
+    }
+
+    /// Snapshot-consistent range scan (own writes merged in).
+    pub fn range<R: RangeBounds<K> + Clone>(&self, r: R) -> Vec<(K, V)> {
+        let inner = self.store.inner.lock();
+        let mut out: BTreeMap<K, V> = inner
+            .rows
+            .range(r.clone())
+            .filter_map(|(k, vs)| visible(vs, self.snapshot).map(|v| (k.clone(), v.clone())))
+            .collect();
+        for (k, w) in self.writes.range(r) {
+            match w {
+                Some(v) => {
+                    out.insert(k.clone(), v.clone());
+                }
+                None => {
+                    out.remove(k);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Buffers a write.
+    pub fn put(&mut self, key: K, value: V) {
+        self.writes.insert(key, Some(value));
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, key: K) {
+        self.writes.insert(key, None);
+    }
+
+    /// Atomically publishes all writes, or fails with
+    /// [`CommitError::WriteConflict`] if any written key was committed by
+    /// another transaction after this snapshot (first-committer-wins).
+    pub fn commit(self) -> Result<u64, CommitError> {
+        let mut inner = self.store.inner.lock();
+        for key in self.writes.keys() {
+            if let Some(versions) = inner.rows.get(key) {
+                if versions.iter().any(|v| v.begin > self.snapshot) {
+                    return Err(CommitError::WriteConflict);
+                }
+            }
+        }
+        inner.clock += 1;
+        let ts = inner.clock;
+        for (key, value) in self.writes {
+            let versions = inner.rows.entry(key).or_default();
+            if let Some(open) = versions.last_mut() {
+                if open.end == u64::MAX {
+                    open.end = ts;
+                }
+            }
+            versions.push(Version {
+                begin: ts,
+                end: u64::MAX,
+                value,
+            });
+        }
+        Ok(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_writes_before_commit() {
+        let store: MvccStore<u32, String> = MvccStore::new();
+        let mut t = store.begin();
+        t.put(1, "a".into());
+        assert_eq!(t.get(&1), Some("a".into()));
+        // other transactions cannot see it (no dirty reads)
+        let t2 = store.begin();
+        assert_eq!(t2.get(&1), None);
+        t.commit().unwrap();
+        // t2's snapshot predates the commit: still invisible
+        assert_eq!(t2.get(&1), None);
+        // a fresh transaction sees it
+        assert_eq!(store.begin().get(&1), Some("a".into()));
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_concurrent_commits() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut t = store.begin();
+        t.put(1, 10);
+        t.commit().unwrap();
+        let reader = store.begin();
+        assert_eq!(reader.get(&1), Some(10));
+        let mut writer = store.begin();
+        writer.put(1, 20);
+        writer.commit().unwrap();
+        // reader's view is frozen
+        assert_eq!(reader.get(&1), Some(10));
+        assert_eq!(store.begin().get(&1), Some(20));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.put(7, 1);
+        b.put(7, 2);
+        a.commit().unwrap();
+        assert_eq!(b.commit(), Err(CommitError::WriteConflict));
+        assert_eq!(store.begin().get(&7), Some(1));
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.put(1, 1);
+        b.put(2, 2);
+        a.commit().unwrap();
+        b.commit().unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn delete_creates_tombstone() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut t = store.begin();
+        t.put(1, 5);
+        t.commit().unwrap();
+        let old = store.begin();
+        let mut d = store.begin();
+        d.delete(1);
+        d.commit().unwrap();
+        assert_eq!(store.begin().get(&1), None);
+        // older snapshot still sees the value
+        assert_eq!(old.get(&1), Some(5));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn range_scan_merges_own_writes() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut seed = store.begin();
+        for k in 0..5 {
+            seed.put(k, k * 10);
+        }
+        seed.commit().unwrap();
+        let mut t = store.begin();
+        t.put(2, 999);
+        t.delete(3);
+        t.put(10, 100);
+        let got = t.range(0..=10);
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 999), (4, 40), (10, 100)]);
+    }
+
+    #[test]
+    fn range_scan_is_snapshot_consistent() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut a = store.begin();
+        a.put(1, 1);
+        a.commit().unwrap();
+        let reader = store.begin();
+        let mut b = store.begin();
+        b.put(2, 2);
+        b.commit().unwrap();
+        assert_eq!(reader.range(0..10), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn gc_prunes_dead_versions() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        for i in 0..5 {
+            let mut t = store.begin();
+            t.put(1, i);
+            t.commit().unwrap();
+        }
+        let mut d = store.begin();
+        d.delete(1);
+        d.commit().unwrap();
+        store.gc(store.now());
+        assert!(store.is_empty());
+        let inner = store.inner.lock();
+        assert!(inner.rows.is_empty(), "fully dead rows dropped");
+    }
+
+    #[test]
+    fn concurrent_commits_from_threads() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut handles = Vec::new();
+        for thread in 0..8u32 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut committed = 0;
+                for i in 0..50u32 {
+                    let mut t = s.begin();
+                    t.put(thread * 1000 + i, i);
+                    if t.commit().is_ok() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // disjoint keys: every commit must succeed
+        assert_eq!(total, 400);
+        assert_eq!(store.len(), 400);
+    }
+
+    #[test]
+    fn contended_counter_loses_exactly_the_conflicts() {
+        let store: MvccStore<u32, u32> = MvccStore::new();
+        let mut init = store.begin();
+        init.put(0, 0);
+        init.commit().unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u32;
+                for _ in 0..100 {
+                    let mut t = s.begin();
+                    let v = t.get(&0).unwrap();
+                    t.put(0, v + 1);
+                    if t.commit().is_ok() {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let wins: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // lost-update anomaly is prevented: final value == committed increments
+        assert_eq!(store.begin().get(&0), Some(wins));
+    }
+}

@@ -1,0 +1,188 @@
+//! Atom records: the unit the database stores.
+//!
+//! "Each time-step is spatially subdivided into database atoms, which are
+//! of size 8³. Each such atom is indexed by the time-step ... and by the
+//! Morton code of its lower left corner. This combination of index and data
+//! forms a record in the database." (paper §2)
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tdb_zorder::ATOM_POINTS;
+
+use crate::error::{StorageError, StorageResult};
+
+/// Clustered-index key of an atom record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomKey {
+    pub timestep: u32,
+    pub zindex: u64,
+}
+
+impl AtomKey {
+    /// Creates a key.
+    pub fn new(timestep: u32, zindex: u64) -> Self {
+        Self { timestep, zindex }
+    }
+
+    /// Encoded size in bytes.
+    pub const ENCODED_LEN: usize = 12;
+
+    /// Appends the key encoding (big-endian so byte order = key order).
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.put_u32(self.timestep);
+        out.put_u64(self.zindex);
+    }
+
+    /// Decodes a key.
+    pub fn decode(buf: &mut impl Buf) -> AtomKey {
+        let timestep = buf.get_u32();
+        let zindex = buf.get_u64();
+        AtomKey { timestep, zindex }
+    }
+}
+
+/// One atom record: key plus `ncomp` planes of 512 `f32` samples
+/// (component-major, x-fastest within each plane).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomRecord {
+    pub key: AtomKey,
+    pub ncomp: u8,
+    pub data: Vec<f32>,
+}
+
+impl AtomRecord {
+    /// Builds a record, validating the payload length.
+    pub fn new(key: AtomKey, ncomp: u8, data: Vec<f32>) -> StorageResult<Self> {
+        if data.len() != usize::from(ncomp) * ATOM_POINTS {
+            return Err(StorageError::SchemaMismatch {
+                expected_ncomp: ncomp,
+                got_ncomp: (data.len() / ATOM_POINTS) as u8,
+            });
+        }
+        Ok(Self { key, ncomp, data })
+    }
+
+    /// Encoded size in bytes for a given component count.
+    pub fn encoded_len(ncomp: u8) -> usize {
+        AtomKey::ENCODED_LEN + 1 + usize::from(ncomp) * ATOM_POINTS * 4
+    }
+
+    /// Appends the record encoding.
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.reserve(Self::encoded_len(self.ncomp));
+        self.key.encode(out);
+        out.put_u8(self.ncomp);
+        for &v in &self.data {
+            out.put_f32_le(v);
+        }
+    }
+
+    /// Decodes one record from the front of `buf`.
+    pub fn decode(buf: &mut Bytes) -> StorageResult<AtomRecord> {
+        if buf.remaining() < AtomKey::ENCODED_LEN + 1 {
+            return Err(StorageError::Corrupt {
+                file: String::new(),
+                detail: "truncated record header".into(),
+            });
+        }
+        let key = AtomKey::decode(buf);
+        let ncomp = buf.get_u8();
+        let n = usize::from(ncomp) * ATOM_POINTS;
+        if buf.remaining() < n * 4 {
+            return Err(StorageError::Corrupt {
+                file: String::new(),
+                detail: format!("truncated record payload (key {key:?})"),
+            });
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        Ok(AtomRecord { key, ncomp, data })
+    }
+
+    /// Component plane `c` of the payload.
+    pub fn plane(&self, c: usize) -> &[f32] {
+        &self.data[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_order_matches_encoding_order() {
+        let keys = [
+            AtomKey::new(0, 5),
+            AtomKey::new(0, 6),
+            AtomKey::new(1, 0),
+            AtomKey::new(1, u64::MAX),
+            AtomKey::new(2, 0),
+        ];
+        let mut encoded: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| {
+                let mut b = BytesMut::new();
+                k.encode(&mut b);
+                b.to_vec()
+            })
+            .collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted, "big-endian encoding must sort like keys");
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let data: Vec<f32> = (0..3 * ATOM_POINTS).map(|i| i as f32 * 0.5).collect();
+        let r = AtomRecord::new(AtomKey::new(7, 12345), 3, data).unwrap();
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), AtomRecord::encoded_len(3));
+        let mut bytes = buf.freeze();
+        let back = AtomRecord::decode(&mut bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn new_rejects_wrong_payload_length() {
+        let err = AtomRecord::new(AtomKey::new(0, 0), 3, vec![0.0; ATOM_POINTS]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let data: Vec<f32> = vec![1.0; ATOM_POINTS];
+        let r = AtomRecord::new(AtomKey::new(1, 2), 1, data).unwrap();
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut cut = buf.freeze().slice(0..40);
+        assert!(AtomRecord::decode(&mut cut).is_err());
+    }
+
+    #[test]
+    fn plane_extracts_components() {
+        let mut data = vec![0.0f32; 2 * ATOM_POINTS];
+        data[ATOM_POINTS] = 9.0;
+        let r = AtomRecord::new(AtomKey::new(0, 0), 2, data).unwrap();
+        assert_eq!(r.plane(1)[0], 9.0);
+        assert_eq!(r.plane(0)[0], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(ts in any::<u32>(), z in any::<u64>(),
+                               ncomp in 1u8..=4,
+                               seed in any::<u32>()) {
+            let n = usize::from(ncomp) * ATOM_POINTS;
+            let data: Vec<f32> = (0..n).map(|i| ((i as u32).wrapping_mul(seed)) as f32).collect();
+            let r = AtomRecord::new(AtomKey::new(ts, z), ncomp, data).unwrap();
+            let mut buf = BytesMut::new();
+            r.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(AtomRecord::decode(&mut bytes).unwrap(), r);
+        }
+    }
+}

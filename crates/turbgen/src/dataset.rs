@@ -1,0 +1,294 @@
+//! Synthetic dataset descriptors.
+//!
+//! Mirrors the JHTDB catalogue (paper §2): forced isotropic turbulence,
+//! MHD, and channel flow. Each dataset declares its raw fields (the ones a
+//! simulation archive would store) and generates any time-step on demand,
+//! deterministically.
+
+use crate::synth::{generate_scalar, generate_solenoidal, GenParams};
+use tdb_field::{Grid3, ScalarField, VectorField};
+
+/// Which simulated archive a dataset mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Forced isotropic turbulence: velocity + pressure.
+    Isotropic,
+    /// Magnetohydrodynamics: velocity + magnetic field + pressure
+    /// (vector potential omitted).
+    Mhd,
+    /// Channel flow: wall-bounded in `y`, stretched grid.
+    Channel,
+}
+
+/// Descriptor of one raw (stored) field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RawFieldDesc {
+    pub name: &'static str,
+    pub ncomp: usize,
+}
+
+/// One generated time-step: the raw fields an archive node would ingest.
+#[derive(Debug, Clone)]
+pub struct TimeStepData {
+    pub timestep: u32,
+    pub fields: Vec<(&'static str, FieldData)>,
+}
+
+/// Raw field payload: scalar or three-component vector.
+#[derive(Debug, Clone)]
+pub enum FieldData {
+    Scalar(ScalarField),
+    Vector(VectorField<3>),
+}
+
+impl FieldData {
+    /// Number of components.
+    pub fn ncomp(&self) -> usize {
+        match self {
+            FieldData::Scalar(_) => 1,
+            FieldData::Vector(_) => 3,
+        }
+    }
+
+    /// Promotes to a 3-component view (scalars land in component 0) so the
+    /// kernel pipeline has a single input type.
+    pub fn as_vector3(&self) -> VectorField<3> {
+        match self {
+            FieldData::Vector(v) => v.clone(),
+            FieldData::Scalar(s) => {
+                let (nx, ny, nz) = s.dims();
+                VectorField::from_components([
+                    s.clone(),
+                    ScalarField::zeros(nx, ny, nz),
+                    ScalarField::zeros(nx, ny, nz),
+                ])
+            }
+        }
+    }
+}
+
+/// A fully specified synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    pub name: String,
+    pub kind: DatasetKind,
+    pub grid: Grid3,
+    pub timesteps: u32,
+    pub seed: u64,
+    pub params: GenParams,
+}
+
+impl SyntheticDataset {
+    /// MHD-like dataset on a periodic cube of edge `n`.
+    pub fn mhd(n: usize, timesteps: u32, seed: u64) -> Self {
+        Self {
+            name: format!("mhd{n}"),
+            kind: DatasetKind::Mhd,
+            grid: Grid3::periodic_cube(n, std::f64::consts::TAU),
+            timesteps,
+            seed,
+            params: GenParams::default(),
+        }
+    }
+
+    /// Forced-isotropic-like dataset.
+    pub fn isotropic(n: usize, timesteps: u32, seed: u64) -> Self {
+        Self {
+            name: format!("isotropic{n}"),
+            kind: DatasetKind::Isotropic,
+            grid: Grid3::periodic_cube(n, std::f64::consts::TAU),
+            timesteps,
+            seed,
+            params: GenParams::default(),
+        }
+    }
+
+    /// Channel-flow-like dataset (`ny` may differ; stretched `y`).
+    pub fn channel(nx: usize, ny: usize, nz: usize, timesteps: u32, seed: u64) -> Self {
+        Self {
+            name: format!("channel{nx}x{ny}x{nz}"),
+            kind: DatasetKind::Channel,
+            grid: Grid3::channel(
+                nx,
+                ny,
+                nz,
+                8.0 * std::f64::consts::PI,
+                3.0 * std::f64::consts::PI,
+                1.7,
+            ),
+            timesteps,
+            seed,
+            params: GenParams::default(),
+        }
+    }
+
+    /// The raw fields this dataset stores.
+    pub fn raw_fields(&self) -> Vec<RawFieldDesc> {
+        match self.kind {
+            DatasetKind::Isotropic => vec![
+                RawFieldDesc {
+                    name: "velocity",
+                    ncomp: 3,
+                },
+                RawFieldDesc {
+                    name: "pressure",
+                    ncomp: 1,
+                },
+            ],
+            DatasetKind::Mhd => vec![
+                RawFieldDesc {
+                    name: "velocity",
+                    ncomp: 3,
+                },
+                RawFieldDesc {
+                    name: "magnetic",
+                    ncomp: 3,
+                },
+                RawFieldDesc {
+                    name: "pressure",
+                    ncomp: 1,
+                },
+            ],
+            DatasetKind::Channel => vec![RawFieldDesc {
+                name: "velocity",
+                ncomp: 3,
+            }],
+        }
+    }
+
+    /// Descriptor of one raw field by name.
+    pub fn raw_field(&self, name: &str) -> Option<RawFieldDesc> {
+        self.raw_fields().into_iter().find(|f| f.name == name)
+    }
+
+    /// Generates time-step `t`. Deterministic in `(self, t)`.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.timesteps`.
+    pub fn generate(&self, t: u32) -> TimeStepData {
+        assert!(t < self.timesteps, "time-step {t} out of range");
+        let mut fields = Vec::new();
+        match self.kind {
+            DatasetKind::Isotropic | DatasetKind::Mhd => {
+                let u = generate_solenoidal(&self.grid, self.seed, 1, t, &self.params);
+                fields.push(("velocity", FieldData::Vector(u)));
+                if self.kind == DatasetKind::Mhd {
+                    let b = generate_solenoidal(&self.grid, self.seed, 2, t, &self.params);
+                    fields.push(("magnetic", FieldData::Vector(b)));
+                }
+                let p = generate_scalar(&self.grid, self.seed, 3, t, &self.params);
+                fields.push(("pressure", FieldData::Scalar(p)));
+            }
+            DatasetKind::Channel => {
+                // generate on a matching periodic cube, then damp toward the
+                // walls with a parabolic profile (u = 0 at the walls).
+                let (nx, ny, nz) = self.grid.dims();
+                let h = std::f64::consts::TAU / nx as f64;
+                let pgrid = Grid3 {
+                    nx,
+                    ny,
+                    nz,
+                    sx: tdb_field::Spacing::Uniform(h),
+                    sy: tdb_field::Spacing::Uniform(h),
+                    sz: tdb_field::Spacing::Uniform(h),
+                    periodic: [true, true, true],
+                };
+                let mut u = generate_solenoidal(&pgrid, self.seed, 1, t, &self.params);
+                for c in 0..3 {
+                    let comp = u.comp_mut(c);
+                    for yj in 0..ny {
+                        let yc = self.grid.sy.coord(yj); // in [-1, 1]
+                        let mask = (1.0 - yc * yc) as f32;
+                        for z in 0..nz {
+                            for x in 0..nx {
+                                let v = comp.get(x, yj, z);
+                                comp.set(x, yj, z, v * mask);
+                            }
+                        }
+                    }
+                }
+                fields.push(("velocity", FieldData::Vector(u)));
+            }
+        }
+        TimeStepData {
+            timestep: t,
+            fields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhd_has_three_raw_fields() {
+        let d = SyntheticDataset::mhd(16, 4, 1);
+        let names: Vec<_> = d.raw_fields().iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["velocity", "magnetic", "pressure"]);
+        assert_eq!(d.raw_field("magnetic").unwrap().ncomp, 3);
+        assert_eq!(d.raw_field("pressure").unwrap().ncomp, 1);
+        assert!(d.raw_field("nope").is_none());
+    }
+
+    #[test]
+    fn generate_produces_declared_fields() {
+        let d = SyntheticDataset::mhd(16, 4, 1);
+        let ts = d.generate(2);
+        assert_eq!(ts.timestep, 2);
+        let names: Vec<_> = ts.fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["velocity", "magnetic", "pressure"]);
+        for (_, f) in &ts.fields {
+            match f {
+                FieldData::Vector(v) => assert_eq!(v.dims(), (16, 16, 16)),
+                FieldData::Scalar(s) => assert_eq!(s.dims(), (16, 16, 16)),
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_and_magnetic_are_independent() {
+        let d = SyntheticDataset::mhd(16, 4, 1);
+        let ts = d.generate(0);
+        let FieldData::Vector(u) = &ts.fields[0].1 else {
+            panic!()
+        };
+        let FieldData::Vector(b) = &ts.fields[1].1 else {
+            panic!()
+        };
+        assert_ne!(u, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn generate_rejects_out_of_range_timestep() {
+        let d = SyntheticDataset::isotropic(8, 2, 1);
+        let _ = d.generate(2);
+    }
+
+    #[test]
+    fn channel_velocity_vanishes_at_walls() {
+        let d = SyntheticDataset::channel(16, 17, 8, 2, 3);
+        let ts = d.generate(0);
+        let FieldData::Vector(u) = &ts.fields[0].1 else {
+            panic!()
+        };
+        for z in 0..8 {
+            for x in 0..16 {
+                assert_eq!(u.at(x, 0, z), [0.0, 0.0, 0.0]);
+                assert_eq!(u.at(x, 16, z), [0.0, 0.0, 0.0]);
+            }
+        }
+        // interior is nonzero
+        assert!(u.norm_at(8, 8, 4) != 0.0);
+    }
+
+    #[test]
+    fn scalar_as_vector3_puts_data_in_component_zero() {
+        let s = ScalarField::from_fn(4, 4, 4, |x, _, _| x as f32);
+        let f = FieldData::Scalar(s);
+        assert_eq!(f.ncomp(), 1);
+        let v = f.as_vector3();
+        assert_eq!(v.at(2, 0, 0), [2.0, 0.0, 0.0]);
+    }
+}

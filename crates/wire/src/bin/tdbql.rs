@@ -1,0 +1,154 @@
+//! Command-line query client.
+//!
+//! ```sh
+//! tdbql --connect 127.0.0.1:7411 info
+//! tdbql --connect 127.0.0.1:7411 stats velocity curl_norm 0
+//! tdbql --connect 127.0.0.1:7411 threshold velocity curl_norm 0 44.0
+//! tdbql --connect 127.0.0.1:7411 pdf velocity curl_norm 0 0 10 9
+//! tdbql --connect 127.0.0.1:7411 topk velocity q_criterion 0 10
+//! tdbql --connect 127.0.0.1:7411 points velocity 0 6 3.5,4.25,5.0 10,20,30
+//! ```
+
+use tdb_core::DerivedField;
+use tdb_wire::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tdbql --connect ADDR <command>\n\
+         commands:\n\
+         \x20 info\n\
+         \x20 ping\n\
+         \x20 stats FIELD DERIVED TIMESTEP\n\
+         \x20 threshold FIELD DERIVED TIMESTEP K\n\
+         \x20 pdf FIELD DERIVED TIMESTEP ORIGIN WIDTH NBINS\n\
+         \x20 topk FIELD DERIVED TIMESTEP K\n\
+         \x20 points FIELD TIMESTEP LAGWIDTH X,Y,Z [X,Y,Z ...]"
+    );
+    std::process::exit(2);
+}
+
+fn derived(name: &str) -> DerivedField {
+    DerivedField::parse(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown derived field '{name}' (expected one of: {})",
+            DerivedField::all()
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 || args[0] != "--connect" {
+        usage();
+    }
+    let addr = &args[1];
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cmd = args[2].as_str();
+    let rest = &args[3..];
+    let result = run(&mut client, cmd, rest);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(client: &mut Client, cmd: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match (cmd, rest) {
+        ("ping", []) => {
+            client.ping()?;
+            println!("pong");
+        }
+        ("info", []) => {
+            let info = client.info()?;
+            println!(
+                "dataset {} — grid {}x{}x{}, {} time-steps",
+                info.dataset, info.dims.0, info.dims.1, info.dims.2, info.timesteps
+            );
+            for (name, ncomp) in info.fields {
+                println!("  field {name} ({ncomp} components)");
+            }
+        }
+        ("stats", [f, d, t]) => {
+            let (count, mean, rms, min, max) = client.get_stats(f, derived(d), t.parse()?)?;
+            println!("count {count}  mean {mean:.4}  rms {rms:.4}  min {min:.4}  max {max:.4}");
+        }
+        ("threshold", [f, d, t, k]) => {
+            let a = client.get_threshold(f, derived(d), t.parse()?, None, k.parse()?)?;
+            println!(
+                "{} points ({}/{} nodes hit cache); modelled {}",
+                a.points.len(),
+                a.cache_hits,
+                a.nodes,
+                a.breakdown
+            );
+            for p in a.points.iter().take(10) {
+                let (x, y, z) = p.coords();
+                println!("  ({x:4},{y:4},{z:4})  {:.3}", p.value);
+            }
+            if a.points.len() > 10 {
+                println!("  ... {} more", a.points.len() - 10);
+            }
+        }
+        ("pdf", [f, d, t, origin, width, nbins]) => {
+            let counts = client.get_pdf(
+                f,
+                derived(d),
+                t.parse()?,
+                origin.parse()?,
+                width.parse()?,
+                nbins.parse()?,
+            )?;
+            let origin: f64 = origin.parse()?;
+            let width: f64 = width.parse()?;
+            for (i, c) in counts.iter().enumerate() {
+                let lo = origin + width * i as f64;
+                if i + 1 == counts.len() {
+                    println!("  [{lo:8.1},      ..)  {c}");
+                } else {
+                    println!("  [{lo:8.1},{:8.1})  {c}", lo + width);
+                }
+            }
+        }
+        ("topk", [f, d, t, k]) => {
+            let points = client.get_topk(f, derived(d), t.parse()?, k.parse()?)?;
+            for p in points {
+                let (x, y, z) = p.coords();
+                println!("  ({x:4},{y:4},{z:4})  {:.3}", p.value);
+            }
+        }
+        ("points", [f, t, w, rest @ ..]) if !rest.is_empty() => {
+            let positions = rest
+                .iter()
+                .map(|s| {
+                    let parts: Vec<f64> = s.split(',').map(str::parse).collect::<Result<_, _>>()?;
+                    if parts.len() != 3 {
+                        return Err::<[f64; 3], Box<dyn std::error::Error>>(
+                            format!("position '{s}' must be X,Y,Z").into(),
+                        );
+                    }
+                    Ok([parts[0], parts[1], parts[2]])
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let values = client.get_points(f, t.parse()?, w.parse()?, &positions)?;
+            for (pos, v) in positions.iter().zip(values) {
+                println!(
+                    "  ({:8.3},{:8.3},{:8.3})  [{:10.4}, {:10.4}, {:10.4}]",
+                    pos[0], pos[1], pos[2], v[0], v[1], v[2]
+                );
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

@@ -1,0 +1,297 @@
+//! Blocking client for the ThresholDB wire protocol — the Rust analogue
+//! of the C/Fortran/Matlab client libraries the JHTDB ships (paper §7).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tdb_core::{DerivedField, ThresholdPoint, TimeBreakdown};
+use tdb_zorder::Box3;
+
+use crate::json::Json;
+use crate::proto::{ProtoError, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(ProtoError),
+    /// The server reported an error for this request.
+    Server(String),
+    /// The server answered with the wrong response kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedResponse(kind) => {
+                write!(f, "unexpected response (wanted {kind})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Dataset description returned by [`Client::info`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    pub dataset: String,
+    pub dims: (u32, u32, u32),
+    pub timesteps: u32,
+    pub fields: Vec<(String, u8)>,
+}
+
+/// Threshold answer returned by [`Client::get_threshold`].
+#[derive(Debug, Clone)]
+pub struct ThresholdAnswer {
+    pub points: Vec<ThresholdPoint>,
+    pub breakdown: TimeBreakdown,
+    pub cache_hits: u32,
+    pub nodes: u32,
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{}", request.to_json().encode())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let doc = Json::parse(line.trim_end()).map_err(|e| ProtoError(e.to_string()))?;
+        let resp = Response::from_json(&doc)?;
+        if let Response::Error { message } = resp {
+            return Err(ClientError::Server(message));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("pong")),
+        }
+    }
+
+    /// Describes the served dataset.
+    pub fn info(&mut self) -> Result<DatasetInfo, ClientError> {
+        match self.call(&Request::Info)? {
+            Response::Info {
+                dataset,
+                dims,
+                timesteps,
+                fields,
+            } => Ok(DatasetInfo {
+                dataset,
+                dims,
+                timesteps,
+                fields,
+            }),
+            _ => Err(ClientError::UnexpectedResponse("info")),
+        }
+    }
+
+    /// `GetThreshold` over the wire.
+    pub fn get_threshold(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        query_box: Option<Box3>,
+        threshold: f64,
+    ) -> Result<ThresholdAnswer, ClientError> {
+        match self.call(&Request::GetThreshold {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            query_box,
+            threshold,
+            use_cache: true,
+        })? {
+            Response::Threshold {
+                points,
+                breakdown,
+                cache_hits,
+                nodes,
+            } => Ok(ThresholdAnswer {
+                points,
+                breakdown,
+                cache_hits,
+                nodes,
+            }),
+            _ => Err(ClientError::UnexpectedResponse("threshold")),
+        }
+    }
+
+    /// PDF of a derived field's norm.
+    pub fn get_pdf(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        origin: f64,
+        bin_width: f64,
+        nbins: u32,
+    ) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::GetPdf {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            origin,
+            bin_width,
+            nbins,
+        })? {
+            Response::Pdf { counts, .. } => Ok(counts),
+            _ => Err(ClientError::UnexpectedResponse("pdf")),
+        }
+    }
+
+    /// The k most intense locations.
+    pub fn get_topk(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        k: u32,
+    ) -> Result<Vec<ThresholdPoint>, ClientError> {
+        match self.call(&Request::GetTopK {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            k,
+        })? {
+            Response::TopK { points } => Ok(points),
+            _ => Err(ClientError::UnexpectedResponse("topk")),
+        }
+    }
+
+    /// Lagrange point interpolation (`GetVelocity`-style).
+    pub fn get_points(
+        &mut self,
+        raw_field: &str,
+        timestep: u32,
+        lag_width: u32,
+        positions: &[[f64; 3]],
+    ) -> Result<Vec<[f32; 3]>, ClientError> {
+        match self.call(&Request::GetPoints {
+            raw_field: raw_field.to_string(),
+            timestep,
+            lag_width,
+            positions: positions.to_vec(),
+        })? {
+            Response::Points { values } => Ok(values),
+            _ => Err(ClientError::UnexpectedResponse("points")),
+        }
+    }
+
+    /// Submits a batch threshold job; returns the job id.
+    pub fn submit_job(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        threshold: f64,
+        output_table: &str,
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::SubmitJob {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            threshold,
+            output_table: output_table.to_string(),
+        })? {
+            Response::JobAccepted { job } => Ok(job),
+            _ => Err(ClientError::UnexpectedResponse("job_accepted")),
+        }
+    }
+
+    /// Polls a batch job: `(state, detail, rows)`.
+    pub fn job_status(&mut self, job: u64) -> Result<(String, String, u64), ClientError> {
+        match self.call(&Request::JobStatus { job })? {
+            Response::JobState {
+                state,
+                detail,
+                rows,
+            } => Ok((state, detail, rows)),
+            _ => Err(ClientError::UnexpectedResponse("job_state")),
+        }
+    }
+
+    /// Lists the MyDB tables of the server's batch session.
+    pub fn list_mydb(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.call(&Request::ListMyDb)? {
+            Response::MyDbList { tables } => Ok(tables),
+            _ => Err(ClientError::UnexpectedResponse("mydb_list")),
+        }
+    }
+
+    /// Reads a MyDB table.
+    pub fn get_mydb_table(
+        &mut self,
+        name: &str,
+    ) -> Result<(String, Vec<ThresholdPoint>), ClientError> {
+        match self.call(&Request::GetMyDbTable {
+            name: name.to_string(),
+        })? {
+            Response::MyDbTable { provenance, points } => Ok((provenance, points)),
+            _ => Err(ClientError::UnexpectedResponse("mydb_table")),
+        }
+    }
+
+    /// Whole-field statistics.
+    pub fn get_stats(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+    ) -> Result<(u64, f64, f64, f64, f64), ClientError> {
+        match self.call(&Request::GetStats {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+        })? {
+            Response::Stats {
+                count,
+                mean,
+                rms,
+                min,
+                max,
+            } => Ok((count, mean, rms, min, max)),
+            _ => Err(ClientError::UnexpectedResponse("stats")),
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The front-end server: "the Web-server acts as a mediator sending the
+//! users' requests to the database nodes and initiating their distributed
+//! evaluation" (paper §2).
+//!
+//! Transport: TCP, one JSON document per `\n`-terminated line in each
+//! direction, thread per connection with a connection cap.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tdb_core::batch::{BatchSession, JobId, JobSpec, JobState};
+use tdb_core::{QueryError, ThresholdQuery, TurbulenceService};
+
+use crate::json::Json;
+use crate::proto::{Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections (excess are refused politely).
+    pub max_connections: usize,
+    /// MyDB quota for the server's shared batch session.
+    pub mydb_quota_bytes: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            mydb_quota_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Shared per-server state: the service plus one batch session (the
+/// paper's MyDB "resides on the servers near the data").
+pub struct ServerState {
+    pub service: Arc<TurbulenceService>,
+    pub batch: BatchSession,
+}
+
+impl ServerState {
+    /// Builds the state with a MyDB quota.
+    pub fn new(service: Arc<TurbulenceService>, mydb_quota_bytes: u64) -> Self {
+        let batch = BatchSession::open(Arc::clone(&service), mydb_quota_bytes);
+        Self { service, batch }
+    }
+}
+
+/// A running front-end server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    pub fn start(
+        service: Arc<TurbulenceService>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let state = Arc::new(ServerState::new(service, config.mydb_quota_bytes));
+        let handle = std::thread::spawn(move || accept_loop(listener, state, config, flag));
+        Ok(Server {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the accept loop to finish.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // poke the listener so accept() returns
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if live.load(Ordering::SeqCst) >= config.max_connections {
+            let mut w = BufWriter::new(&stream);
+            let _ = writeln!(
+                w,
+                "{}",
+                Response::Error {
+                    message: "server at connection capacity".into()
+                }
+                .to_json()
+                .encode()
+            );
+            continue;
+        }
+        live.fetch_add(1, Ordering::SeqCst);
+        let st = Arc::clone(&state);
+        let counter = Arc::clone(&live);
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &st);
+            counter.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line_with_state(&line, state);
+        writeln!(writer, "{}", response.to_json().encode())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Parses one request line and executes it against a full server state
+/// (batch operations included).
+pub fn handle_line_with_state(line: &str, state: &ServerState) -> Response {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    match Request::from_json(&doc) {
+        Ok(r) => execute_with_state(&r, state),
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Parses one request line and executes it against a bare service (batch
+/// operations report an error) — kept for direct handler testing.
+pub fn handle_line(line: &str, service: &TurbulenceService) -> Response {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    let request = match Request::from_json(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    execute(&request, service)
+}
+
+fn query_error(e: QueryError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+/// Executes a parsed request against full server state.
+pub fn execute_with_state(request: &Request, state: &ServerState) -> Response {
+    match request {
+        Request::SubmitJob {
+            raw_field,
+            derived,
+            timestep,
+            threshold,
+            output_table,
+        } => {
+            let query = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, *threshold);
+            let JobId(id) = state.batch.submit(JobSpec::Threshold {
+                query,
+                output_table: output_table.clone(),
+            });
+            Response::JobAccepted { job: id }
+        }
+        Request::JobStatus { job } => match state.batch.status(JobId(*job)) {
+            Some(JobState::Queued) => Response::JobState {
+                state: "queued".into(),
+                detail: String::new(),
+                rows: 0,
+            },
+            Some(JobState::Running) => Response::JobState {
+                state: "running".into(),
+                detail: String::new(),
+                rows: 0,
+            },
+            Some(JobState::Done { rows, modelled_s }) => Response::JobState {
+                state: "done".into(),
+                detail: format!("{modelled_s:.3}s modelled"),
+                rows: rows as u64,
+            },
+            Some(JobState::Failed(msg)) => Response::JobState {
+                state: "failed".into(),
+                detail: msg,
+                rows: 0,
+            },
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::ListMyDb => Response::MyDbList {
+            tables: state.batch.mydb().list(),
+        },
+        Request::GetMyDbTable { name } => match state.batch.mydb().get(name) {
+            Some(t) => Response::MyDbTable {
+                provenance: t.provenance,
+                points: t.points,
+            },
+            None => Response::Error {
+                message: format!("no MyDB table '{name}'"),
+            },
+        },
+        other => execute(other, &state.service),
+    }
+}
+
+/// Executes a parsed non-batch request against the service.
+pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
+    match request {
+        Request::SubmitJob { .. }
+        | Request::JobStatus { .. }
+        | Request::ListMyDb
+        | Request::GetMyDbTable { .. } => Response::Error {
+            message: "batch operations need a server session".into(),
+        },
+        Request::Ping => Response::Pong,
+        Request::Info => {
+            let d = service.dataset();
+            let (nx, ny, nz) = d.grid.dims();
+            Response::Info {
+                dataset: d.name.clone(),
+                dims: (nx as u32, ny as u32, nz as u32),
+                timesteps: d.timesteps,
+                fields: d
+                    .raw_fields()
+                    .into_iter()
+                    .map(|f| (f.name.to_string(), f.ncomp as u8))
+                    .collect(),
+            }
+        }
+        Request::GetThreshold {
+            raw_field,
+            derived,
+            timestep,
+            query_box,
+            threshold,
+            use_cache,
+        } => {
+            let mut q = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, *threshold);
+            q.query_box = *query_box;
+            q.use_cache = *use_cache;
+            match service.get_threshold(&q) {
+                Ok(r) => Response::Threshold {
+                    points: r.points,
+                    breakdown: r.breakdown,
+                    cache_hits: r.cache_hits as u32,
+                    nodes: r.nodes as u32,
+                },
+                Err(e) => query_error(e),
+            }
+        }
+        Request::GetPdf {
+            raw_field,
+            derived,
+            timestep,
+            origin,
+            bin_width,
+            nbins,
+        } => {
+            if *bin_width <= 0.0 || *nbins == 0 || *nbins > 4096 {
+                return Response::Error {
+                    message: "pdf bins must satisfy 0 < nbins <= 4096 and bin_width > 0".into(),
+                };
+            }
+            let q = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, 0.0);
+            match service.get_pdf(&q, *origin, *bin_width, *nbins as usize) {
+                Ok(r) => Response::Pdf {
+                    origin: *origin,
+                    bin_width: *bin_width,
+                    counts: r.histogram.counts().to_vec(),
+                },
+                Err(e) => query_error(e),
+            }
+        }
+        Request::GetTopK {
+            raw_field,
+            derived,
+            timestep,
+            k,
+        } => {
+            if *k == 0 || *k > 100_000 {
+                return Response::Error {
+                    message: "k must satisfy 0 < k <= 100000".into(),
+                };
+            }
+            let q = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, 0.0);
+            match service.get_topk(&q, *k as usize) {
+                Ok(r) => Response::TopK { points: r.points },
+                Err(e) => query_error(e),
+            }
+        }
+        Request::GetStats {
+            raw_field,
+            derived,
+            timestep,
+        } => match service.derived_stats(raw_field, *derived, *timestep) {
+            Ok(s) => Response::Stats {
+                count: s.count,
+                mean: s.mean,
+                rms: s.rms,
+                min: s.min,
+                max: s.max,
+            },
+            Err(e) => query_error(e),
+        },
+        Request::GetPoints {
+            raw_field,
+            timestep,
+            lag_width,
+            positions,
+        } => {
+            let order = match lag_width {
+                4 => tdb_core::LagOrder::Lag4,
+                6 => tdb_core::LagOrder::Lag6,
+                8 => tdb_core::LagOrder::Lag8,
+                other => {
+                    return Response::Error {
+                        message: format!("lag_width must be 4, 6 or 8 (got {other})"),
+                    }
+                }
+            };
+            if positions.is_empty() || positions.len() > 100_000 {
+                return Response::Error {
+                    message: "positions must contain 1..=100000 entries".into(),
+                };
+            }
+            match service.interpolate_at(raw_field, *timestep, positions, order) {
+                Ok((values, _)) => Response::Points { values },
+                Err(e) => query_error(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! BIGMIN / LITMAX on the 3-D Morton curve (Tropf & Herzog 1981).
+//!
+//! Given a query box and a position on the z-curve, `bigmin` finds the
+//! smallest code **greater than** the position that re-enters the box —
+//! the skip target of a z-order index scan. [`crate::range::decompose_box`]
+//! materialises all ranges up front; BIGMIN computes the next one lazily,
+//! which a cursor-based scan over a huge box would prefer. Both are
+//! exposed; property tests pin them to each other.
+
+use crate::boxes::Box3;
+use crate::morton::{decode3, encode3};
+
+/// Bits of dimension 0 (x) in a 3-D Morton code.
+const DIM0: u64 = 0x1249_2492_4924_9249;
+
+/// Same-dimension bits strictly below bit `i`.
+#[inline]
+fn same_dim_below(i: u32) -> u64 {
+    (DIM0 << (i % 3)) & ((1u64 << i) - 1)
+}
+
+/// Sets bit `i`, zeroes the same-dimension bits below it.
+#[inline]
+fn load_1000(v: u64, i: u32) -> u64 {
+    (v | (1u64 << i)) & !same_dim_below(i)
+}
+
+/// Clears bit `i`, sets the same-dimension bits below it.
+#[inline]
+fn load_0111(v: u64, i: u32) -> u64 {
+    (v & !(1u64 << i)) | same_dim_below(i)
+}
+
+/// Whether `code` decodes into the box.
+#[inline]
+fn in_box(code: u64, b: &Box3) -> bool {
+    let (x, y, z) = decode3(code);
+    b.contains_point(x, y, z)
+}
+
+/// Smallest Morton code `> code` whose point lies inside `b`, or `None`.
+///
+/// `code` itself may be inside or outside the box.
+pub fn bigmin(code: u64, b: &Box3) -> Option<u64> {
+    let mut zmin = encode3(b.lo[0], b.lo[1], b.lo[2]);
+    let mut zmax = encode3(b.hi[0], b.hi[1], b.hi[2]);
+    if code >= zmax {
+        return None;
+    }
+    if code < zmin {
+        return Some(zmin);
+    }
+    let mut best: Option<u64> = None;
+    for i in (0..63).rev() {
+        let zb = (code >> i) & 1;
+        let minb = (zmin >> i) & 1;
+        let maxb = (zmax >> i) & 1;
+        match (zb, minb, maxb) {
+            (0, 0, 0) => {}
+            (0, 0, 1) => {
+                best = Some(load_1000(zmin, i));
+                zmax = load_0111(zmax, i);
+            }
+            (0, 1, 1) => return Some(zmin),
+            (1, 0, 0) => return best,
+            (1, 0, 1) => {
+                zmin = load_1000(zmin, i);
+            }
+            (1, 1, 1) => {}
+            // min bit set while max bit clear cannot happen for a valid box
+            _ => unreachable!("inconsistent box bits"),
+        }
+    }
+    // code == zmax was excluded above; reaching here means code itself
+    // matched min==max all the way down, so nothing greater remains
+    best
+}
+
+/// Largest Morton code `< code` whose point lies inside `b`, or `None`
+/// (the LITMAX dual, used by descending scans).
+pub fn litmax(code: u64, b: &Box3) -> Option<u64> {
+    let mut zmin = encode3(b.lo[0], b.lo[1], b.lo[2]);
+    let mut zmax = encode3(b.hi[0], b.hi[1], b.hi[2]);
+    if code <= zmin {
+        return None;
+    }
+    if code > zmax {
+        return Some(zmax);
+    }
+    let mut best: Option<u64> = None;
+    for i in (0..63).rev() {
+        let zb = (code >> i) & 1;
+        let minb = (zmin >> i) & 1;
+        let maxb = (zmax >> i) & 1;
+        match (zb, minb, maxb) {
+            (1, 1, 1) => {}
+            (1, 0, 1) => {
+                best = Some(load_0111(zmax, i));
+                zmin = load_1000(zmin, i);
+            }
+            (1, 0, 0) => return Some(zmax),
+            (0, 1, 1) => return best,
+            (0, 0, 1) => {
+                zmax = load_0111(zmax, i);
+            }
+            (0, 0, 0) => {}
+            _ => unreachable!("inconsistent box bits"),
+        }
+    }
+    best
+}
+
+/// Iterator over every in-box code at or after `start`, advancing with
+/// BIGMIN skips — a lazy alternative to materialising
+/// [`crate::range::decompose_box`].
+pub struct ZScanCursor {
+    b: Box3,
+    next: Option<u64>,
+}
+
+impl ZScanCursor {
+    /// Cursor positioned at the first in-box code `>= start`.
+    pub fn new(b: Box3, start: u64) -> Self {
+        let next = if in_box(start, &b) {
+            Some(start)
+        } else {
+            bigmin(start, &b)
+        };
+        Self { b, next }
+    }
+}
+
+impl Iterator for ZScanCursor {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let cur = self.next?;
+        // consecutive in-box codes advance by one; gaps skip via BIGMIN
+        self.next = match cur.checked_add(1) {
+            Some(succ) if in_box(succ, &self.b) => Some(succ),
+            Some(_) => bigmin(cur, &self.b),
+            None => None,
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_bigmin(code: u64, b: &Box3, limit: u64) -> Option<u64> {
+        (code + 1..=limit).find(|&c| in_box(c, b))
+    }
+
+    fn brute_litmax(code: u64, b: &Box3) -> Option<u64> {
+        (0..code).rev().find(|&c| in_box(c, b))
+    }
+
+    #[test]
+    fn bigmin_known_case() {
+        // classic example shape: box spanning two octants with a gap
+        let b = Box3::new([1, 1, 0], [3, 3, 0]);
+        // code of (3,1,0) is inside; next code after it on the curve that
+        // is inside must match brute force
+        let start = encode3(3, 1, 0);
+        let expect = brute_bigmin(start, &b, encode3(3, 3, 0));
+        assert_eq!(bigmin(start, &b), expect);
+    }
+
+    #[test]
+    fn bigmin_degenerate_boxes() {
+        let b = Box3::new([5, 5, 5], [5, 5, 5]);
+        let only = encode3(5, 5, 5);
+        assert_eq!(bigmin(0, &b), Some(only));
+        assert_eq!(bigmin(only, &b), None);
+        assert_eq!(litmax(u64::MAX, &b), Some(only));
+        assert_eq!(litmax(only, &b), None);
+    }
+
+    #[test]
+    fn cursor_enumerates_exactly_the_box() {
+        let b = Box3::new([2, 1, 3], [6, 4, 5]);
+        let got: Vec<u64> = ZScanCursor::new(b, 0).collect();
+        let mut expect: Vec<u64> = b.points().map(|(x, y, z)| encode3(x, y, z)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cursor_agrees_with_range_decomposition() {
+        let b = Box3::new([0, 3, 1], [7, 6, 6]);
+        let via_cursor: Vec<u64> = ZScanCursor::new(b, 0).collect();
+        let via_ranges: Vec<u64> = crate::range::decompose_box(&b, 3)
+            .iter()
+            .flat_map(|r| r.start..=r.end)
+            .collect();
+        assert_eq!(via_cursor, via_ranges);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn bigmin_matches_brute_force(
+            lo in prop::array::uniform3(0u32..12),
+            ext in prop::array::uniform3(1u32..5),
+            px in 0u32..16, py in 0u32..16, pz in 0u32..16,
+        ) {
+            let b = Box3::new(lo, [
+                (lo[0] + ext[0] - 1).min(15),
+                (lo[1] + ext[1] - 1).min(15),
+                (lo[2] + ext[2] - 1).min(15),
+            ]);
+            let code = encode3(px, py, pz);
+            let got = bigmin(code, &b);
+            let expect = brute_bigmin(code, &b, encode3(15, 15, 15));
+            prop_assert_eq!(got, expect, "box {:?} code {}", b, code);
+        }
+
+        #[test]
+        fn litmax_matches_brute_force(
+            lo in prop::array::uniform3(0u32..12),
+            ext in prop::array::uniform3(1u32..5),
+            px in 0u32..16, py in 0u32..16, pz in 0u32..16,
+        ) {
+            let b = Box3::new(lo, [
+                (lo[0] + ext[0] - 1).min(15),
+                (lo[1] + ext[1] - 1).min(15),
+                (lo[2] + ext[2] - 1).min(15),
+            ]);
+            let code = encode3(px, py, pz);
+            prop_assert_eq!(litmax(code, &b), brute_litmax(code, &b));
+        }
+
+        #[test]
+        fn bigmin_result_is_in_box_and_minimal_skip(
+            lo in prop::array::uniform3(0u32..30),
+            ext in prop::array::uniform3(1u32..12),
+            seed in 0u64..1_000_000,
+        ) {
+            let b = Box3::new(lo, [lo[0]+ext[0]-1, lo[1]+ext[1]-1, lo[2]+ext[2]-1]);
+            let code = seed % (encode3(63, 63, 63) + 1);
+            if let Some(next) = bigmin(code, &b) {
+                prop_assert!(next > code);
+                prop_assert!(in_box(next, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Bit-interleaving Morton-code primitives.
+//!
+//! 3-D codes interleave 21 bits per dimension into a 63-bit code with bit
+//! layout `… z2 y2 x2 z1 y1 x1 z0 y0 x0` (x occupies the least significant
+//! position of each triple). 4-D codes interleave 15 bits per dimension and
+//! are used by the friends-of-friends spatial hash.
+
+/// Largest coordinate representable in a 3-D Morton code (21 bits).
+pub const MAX_COORD3: u32 = (1 << 21) - 1;
+
+/// Largest coordinate representable in a 4-D Morton code (15 bits).
+pub const MAX_COORD4: u32 = (1 << 15) - 1;
+
+/// Spreads the low 21 bits of `x` so that consecutive input bits land three
+/// positions apart (`b0 -> bit 0`, `b1 -> bit 3`, ...).
+#[inline]
+pub fn spread3(x: u32) -> u64 {
+    debug_assert!(x <= MAX_COORD3, "coordinate {x} exceeds 21 bits");
+    let mut v = u64::from(x) & 0x1f_ffff;
+    v = (v | (v << 32)) & 0x001f_0000_0000_ffff;
+    v = (v | (v << 16)) & 0x001f_0000_ff00_00ff;
+    v = (v | (v << 8)) & 0x100f_00f0_0f00_f00f;
+    v = (v | (v << 4)) & 0x10c3_0c30_c30c_30c3;
+    v = (v | (v << 2)) & 0x1249_2492_4924_9249;
+    v
+}
+
+/// Inverse of [`spread3`]: collects every third bit back into a dense value.
+#[inline]
+pub fn compact3(v: u64) -> u32 {
+    let mut v = v & 0x1249_2492_4924_9249;
+    v = (v | (v >> 2)) & 0x10c3_0c30_c30c_30c3;
+    v = (v | (v >> 4)) & 0x100f_00f0_0f00_f00f;
+    v = (v | (v >> 8)) & 0x001f_0000_ff00_00ff;
+    v = (v | (v >> 16)) & 0x001f_0000_0000_ffff;
+    v = (v | (v >> 32)) & 0x1f_ffff;
+    v as u32
+}
+
+/// Encodes `(x, y, z)` into a 3-D Morton code.
+///
+/// Matches the JHTDB convention: the code of an atom is the interleaved
+/// coordinates of its lower-left corner, with `x` in the least significant
+/// interleave slot so that z-order sorts by `z`, then `y`, then `x` at the
+/// coarsest level.
+#[inline]
+pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
+    spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
+}
+
+/// Decodes a 3-D Morton code back into `(x, y, z)`.
+#[inline]
+pub fn decode3(code: u64) -> (u32, u32, u32) {
+    (compact3(code), compact3(code >> 1), compact3(code >> 2))
+}
+
+#[inline]
+fn spread4(x: u32) -> u64 {
+    debug_assert!(x <= MAX_COORD4, "coordinate {x} exceeds 15 bits");
+    let mut v = u64::from(x) & 0x7fff;
+    v = (v | (v << 24)) & 0x0000_00ff_0000_00ff;
+    v = (v | (v << 12)) & 0x000f_000f_000f_000f;
+    v = (v | (v << 6)) & 0x0303_0303_0303_0303;
+    v = (v | (v << 3)) & 0x1111_1111_1111_1111;
+    v
+}
+
+#[inline]
+fn compact4(v: u64) -> u32 {
+    let mut v = v & 0x1111_1111_1111_1111;
+    v = (v | (v >> 3)) & 0x0303_0303_0303_0303;
+    v = (v | (v >> 6)) & 0x000f_000f_000f_000f;
+    v = (v | (v >> 12)) & 0x0000_00ff_0000_00ff;
+    v = (v | (v >> 24)) & 0x7fff;
+    v as u32
+}
+
+/// Encodes `(x, y, z, t)` into a 4-D Morton code (15 bits per dimension).
+#[inline]
+pub fn encode4(x: u32, y: u32, z: u32, t: u32) -> u64 {
+    spread4(x) | (spread4(y) << 1) | (spread4(z) << 2) | (spread4(t) << 3)
+}
+
+/// Decodes a 4-D Morton code back into `(x, y, z, t)`.
+#[inline]
+pub fn decode4(code: u64) -> (u32, u32, u32, u32) {
+    (
+        compact4(code),
+        compact4(code >> 1),
+        compact4(code >> 2),
+        compact4(code >> 3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode3_known_values() {
+        assert_eq!(encode3(0, 0, 0), 0);
+        assert_eq!(encode3(1, 0, 0), 0b001);
+        assert_eq!(encode3(0, 1, 0), 0b010);
+        assert_eq!(encode3(0, 0, 1), 0b100);
+        assert_eq!(encode3(1, 1, 1), 0b111);
+        assert_eq!(encode3(2, 0, 0), 0b001_000);
+        // triples (z y x) from coarse to fine: (0,1,0) (0,0,1) (1,1,1)
+        assert_eq!(encode3(3, 5, 1), 0b010_001_111);
+    }
+
+    #[test]
+    fn encode3_max_coordinate_roundtrips() {
+        let c = encode3(MAX_COORD3, MAX_COORD3, MAX_COORD3);
+        assert_eq!(decode3(c), (MAX_COORD3, MAX_COORD3, MAX_COORD3));
+    }
+
+    #[test]
+    fn encode4_known_values() {
+        assert_eq!(encode4(0, 0, 0, 0), 0);
+        assert_eq!(encode4(1, 1, 1, 1), 0b1111);
+        assert_eq!(encode4(1, 0, 0, 1), 0b1001);
+    }
+
+    #[test]
+    fn z_order_sorts_nested_octants() {
+        // All codes in octant (0..4)^3 are smaller than any code in the
+        // octant shifted by +4 in z.
+        let mut max_low = 0;
+        let mut min_high = u64::MAX;
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    max_low = max_low.max(encode3(x, y, z));
+                    min_high = min_high.min(encode3(x, y, z + 4));
+                }
+            }
+        }
+        assert!(max_low < min_high);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip3(x in 0..=MAX_COORD3, y in 0..=MAX_COORD3, z in 0..=MAX_COORD3) {
+            prop_assert_eq!(decode3(encode3(x, y, z)), (x, y, z));
+        }
+
+        #[test]
+        fn roundtrip4(x in 0..=MAX_COORD4, y in 0..=MAX_COORD4,
+                      z in 0..=MAX_COORD4, t in 0..=MAX_COORD4) {
+            prop_assert_eq!(decode4(encode4(x, y, z, t)), (x, y, z, t));
+        }
+
+        #[test]
+        fn spread_compact_inverse(x in 0..=MAX_COORD3) {
+            prop_assert_eq!(compact3(spread3(x)), x);
+        }
+
+        #[test]
+        fn code_is_monotone_in_octant_level(
+            x in 0u32..1024, y in 0u32..1024, z in 0u32..1024, shift in 1u32..10
+        ) {
+            // Doubling the coarse octant index along any axis strictly
+            // increases the code: z-order respects the octree hierarchy.
+            let c = encode3(x, y, z);
+            let bump = 1u32 << (10 + shift - 1);
+            prop_assert!(encode3(x + bump, y, z) > c);
+            prop_assert!(encode3(x, y + bump, z) > c);
+            prop_assert!(encode3(x, y, z + bump) > c);
+        }
+    }
+}

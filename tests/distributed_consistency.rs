@@ -1,0 +1,105 @@
+//! Distribution transparency: the number of nodes, processes, chunk size
+//! or FD order of the *storage layout* must never change query answers —
+//! only their cost.
+
+use tdb_cluster::ClusterConfig;
+use tdb_core::{DerivedField, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+
+fn build(nodes: usize, procs: usize, chunk_atoms: u32, tag: &str) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xfeed),
+        cluster: ClusterConfig {
+            num_nodes: nodes,
+            procs_per_node: procs,
+            arrays_per_node: 2,
+            chunk_atoms,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: tdb_bench::scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}
+
+fn answer(service: &TurbulenceService) -> Vec<(u64, f32)> {
+    let q =
+        ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 28.0).without_cache();
+    service
+        .get_threshold(&q)
+        .unwrap()
+        .points
+        .into_iter()
+        .map(|p| (p.zindex, p.value))
+        .collect()
+}
+
+#[test]
+fn answers_are_independent_of_node_count() {
+    let reference = answer(&build(1, 2, 2, "dc_n1"));
+    assert!(!reference.is_empty());
+    for nodes in [2, 3, 4, 8] {
+        let got = answer(&build(nodes, 2, 2, &format!("dc_n{nodes}")));
+        assert_eq!(got, reference, "{nodes}-node answer differs");
+    }
+}
+
+#[test]
+fn answers_are_independent_of_process_count() {
+    let reference = answer(&build(2, 1, 2, "dc_p1"));
+    for procs in [2, 4, 8] {
+        let got = answer(&build(2, procs, 2, &format!("dc_p{procs}")));
+        assert_eq!(got, reference, "{procs}-process answer differs");
+    }
+}
+
+#[test]
+fn answers_are_independent_of_chunk_size() {
+    let reference = answer(&build(2, 2, 1, "dc_c1"));
+    let got = answer(&build(2, 2, 2, "dc_c2"));
+    assert_eq!(got, reference, "chunk_atoms=2 answer differs");
+    // chunk_atoms=4 tiles a 32³ grid into a single chunk: single node only
+    let got = answer(&build(1, 2, 4, "dc_c4"));
+    assert_eq!(got, reference, "chunk_atoms=4 answer differs");
+}
+
+#[test]
+fn halo_exchange_is_exact_at_node_boundaries() {
+    // With 8 nodes on a 32³ grid every chunk borders foreign atoms, so a
+    // kernel bug at node boundaries would corrupt many points: compare a
+    // wide-halo (order-8) query across node counts.
+    let mk = |nodes: usize, tag: &str| {
+        let config = ServiceConfig {
+            dataset: SyntheticDataset::mhd(32, 1, 0xbeef),
+            cluster: ClusterConfig {
+                num_nodes: nodes,
+                procs_per_node: 2,
+                arrays_per_node: 2,
+                chunk_atoms: 1,
+                fd_order: tdb_kernels::FdOrder::O8,
+                ..ClusterConfig::default()
+            },
+            limits: Default::default(),
+            data_dir: tdb_bench::scratch_dir(tag),
+        };
+        TurbulenceService::build(config).expect("build")
+    };
+    let a = answer(&mk(1, "dc_h1"));
+    let b = answer(&mk(8, "dc_h8"));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pdf_and_topk_are_distribution_transparent() {
+    let s1 = build(1, 1, 2, "dc_pdf1");
+    let s4 = build(4, 2, 2, "dc_pdf4");
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::QCriterion, 0, 0.0);
+    let p1 = s1.get_pdf(&q, -200.0, 25.0, 16).unwrap();
+    let p4 = s4.get_pdf(&q, -200.0, 25.0, 16).unwrap();
+    assert_eq!(p1.histogram.counts(), p4.histogram.counts());
+    let t1 = s1.get_topk(&q, 25).unwrap();
+    let t4 = s4.get_topk(&q, 25).unwrap();
+    let v1: Vec<f32> = t1.points.iter().map(|p| p.value).collect();
+    let v4: Vec<f32> = t4.points.iter().map(|p| p.value).collect();
+    assert_eq!(v1, v4);
+}

@@ -1,0 +1,117 @@
+//! Fault tolerance of the query path: corrupted partition blocks are
+//! detected by the CRC and surfaced as query errors — never as silent
+//! wrong answers or crashes.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use tdb_cluster::ClusterConfig;
+use tdb_core::{DerivedField, QueryError, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+
+fn build(tag: &str) -> (TurbulenceService, std::path::PathBuf) {
+    let dir = tdb_bench::scratch_dir(tag);
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: dir.clone(),
+    };
+    (TurbulenceService::build(config).expect("build"), dir)
+}
+
+/// Flips one byte in the middle of a data block of every velocity
+/// partition of node 0.
+fn corrupt_velocity_partitions(dir: &std::path::Path) -> usize {
+    let node_dir = dir.join("node0");
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&node_dir).expect("node dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("velocity_part") {
+            continue;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("open partition");
+        let len = f.metadata().unwrap().len();
+        // flip a byte well inside the first data block (after the header,
+        // before the footer)
+        let pos = (len / 4).clamp(16, len - 64);
+        f.seek(SeekFrom::Start(pos)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(pos)).unwrap();
+        f.write_all(&[b[0] ^ 0xa5]).unwrap();
+        f.sync_all().unwrap();
+        corrupted += 1;
+    }
+    corrupted
+}
+
+#[test]
+fn corrupted_block_fails_the_query_loudly() {
+    let (service, dir) = build("fi_corrupt");
+    // sanity: the query works before corruption
+    let q =
+        ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 25.0).without_cache();
+    let ok = service.get_threshold(&q).expect("pre-corruption query");
+    assert!(!ok.points.is_empty());
+
+    assert!(corrupt_velocity_partitions(&dir) > 0, "no partitions found");
+    service.cluster().clear_buffer_pools(); // force re-reads from disk
+
+    match service.get_threshold(&q) {
+        Err(QueryError::Backend(msg)) => {
+            assert!(
+                msg.contains("corrupt") || msg.contains("crc"),
+                "unexpected backend message: {msg}"
+            );
+        }
+        Ok(_) => panic!("corrupted data must not produce an answer"),
+        Err(other) => panic!("expected Backend error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corruption_in_one_field_leaves_others_usable() {
+    let (service, dir) = build("fi_isolated");
+    corrupt_velocity_partitions(&dir);
+    service.cluster().clear_buffer_pools();
+    // magnetic-field queries never touch the corrupted velocity partitions
+    let q = ThresholdQuery::whole_timestep("magnetic", DerivedField::Norm, 0, 2.0).without_cache();
+    let r = service
+        .get_threshold(&q)
+        .expect("unrelated field must work");
+    assert!(!r.points.is_empty());
+}
+
+#[test]
+fn cached_results_survive_storage_corruption() {
+    // the semantic cache holds *results*, so a warm entry keeps answering
+    // even when the raw data underneath has rotted — and the paper's
+    // recovery path (re-evaluating at a lower threshold) fails loudly.
+    let (service, dir) = build("fi_cache");
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 25.0);
+    let cold = service.get_threshold(&q).expect("warm the cache");
+    corrupt_velocity_partitions(&dir);
+    service.cluster().clear_buffer_pools();
+    let warm = service
+        .get_threshold(&q)
+        .expect("cache hit needs no raw data");
+    assert_eq!(warm.cache_hits, warm.nodes);
+    assert_eq!(warm.points.len(), cold.points.len());
+    // a lower threshold forces re-evaluation from (corrupt) raw data
+    let lower = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 20.0);
+    assert!(matches!(
+        service.get_threshold(&lower),
+        Err(QueryError::Backend(_))
+    ));
+}

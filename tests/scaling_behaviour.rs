@@ -1,0 +1,132 @@
+//! Modelled scaling shapes (paper Figs. 7 & 8) hold on the integration
+//! scale: scale-out is near-linear, scale-up saturates, I/O is a large
+//! share of cold queries, and cache hits collapse the total.
+
+use tdb_cluster::ClusterConfig;
+use tdb_core::{DerivedField, QueryMode, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_turbgen::SyntheticDataset;
+
+fn build(nodes: usize, tag: &str) -> TurbulenceService {
+    // 128³ with 32³ chunks keeps the halo band a realistic fraction of the
+    // data read (a 64³ grid with 16³ chunks nearly doubles every read,
+    // which drowns the scaling signal the paper measures at 1024³)
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(128, 1, 0xabc),
+        cluster: ClusterConfig {
+            num_nodes: nodes,
+            procs_per_node: 1,
+            arrays_per_node: 4,
+            chunk_atoms: 4,
+            compute_scale: 6.0,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: tdb_bench::scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}
+
+fn cold_total(service: &TurbulenceService, procs: usize) -> f64 {
+    service.cluster().clear_buffer_pools();
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 30.0)
+        .without_cache()
+        .with_procs(procs);
+    let r = service.get_threshold(&q).unwrap();
+    r.breakdown.io_s + r.breakdown.compute_s
+}
+
+#[test]
+fn scale_out_is_nearly_linear() {
+    let t1 = cold_total(&build(1, "so1"), 1);
+    let t4 = cold_total(&build(4, "so4"), 1);
+    let speedup = t1 / t4;
+    // at this 64³ test scale the halo shell is a large fraction of each
+    // node's reads, so "near-linear" is ~2.2-3.5x; the repro harness at
+    // 128³+ lands closer to the paper's near-perfect scaling
+    assert!(
+        speedup > 2.2,
+        "4-node scale-out speedup should be near-linear, got {speedup:.2}"
+    );
+    assert!(speedup <= 4.5, "speedup cannot beat linear: {speedup:.2}");
+}
+
+#[test]
+fn scale_up_speedup_diminishes() {
+    let service = build(4, "su");
+    let t1 = cold_total(&service, 1);
+    let t2 = cold_total(&service, 2);
+    let t8 = cold_total(&service, 8);
+    let s2 = t1 / t2;
+    let s8 = t1 / t8;
+    assert!(s2 > 1.5, "2-process speedup too small: {s2:.2}");
+    assert!(
+        s8 >= s2 * 0.95,
+        "more processes must not hurt: {s2:.2} → {s8:.2}"
+    );
+    // at this tiny scale the first-touch distribution of block reads over
+    // arrays varies run to run; the precise saturation shape is pinned by
+    // the NodeTimeModel unit tests and the repro harness at 128³+
+    assert!(
+        s8 < 7.5,
+        "8-process speedup must saturate below linear, got {s8:.2}"
+    );
+}
+
+#[test]
+fn io_is_substantial_share_of_cold_queries() {
+    // Fig. 8: the I/O time is about half of the total running time
+    let service = build(4, "ioshare");
+    service.cluster().clear_buffer_pools();
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 30.0)
+        .without_cache()
+        .with_procs(1);
+    let r = service.get_threshold(&q).unwrap();
+    let share = r.breakdown.io_s / (r.breakdown.io_s + r.breakdown.compute_s);
+    assert!(
+        (0.15..=0.98).contains(&share),
+        "I/O share out of plausible range: {share:.2}"
+    );
+    // and an I/O-only run costs no more than the full run
+    service.cluster().clear_buffer_pools();
+    let q_io = ThresholdQuery {
+        mode: QueryMode::IoOnly,
+        ..q.clone()
+    };
+    let rio = service.get_threshold(&q_io).unwrap();
+    // same reads, so same modelled I/O up to first-touch races between
+    // concurrently-fetching nodes (which of two nodes gets charged for a
+    // shared boundary block varies run to run)
+    let ratio = rio.breakdown.io_s / r.breakdown.io_s;
+    assert!(
+        (0.75..=1.25).contains(&ratio),
+        "I/O-only vs full-run I/O diverged: {ratio:.2}"
+    );
+}
+
+#[test]
+fn derived_fields_cost_more_compute_than_raw_fields() {
+    // Fig. 9: Q-criterion compute > vorticity compute > magnetic (raw)
+    let service = build(2, "fieldcost");
+    let run = |raw: &str, derived: DerivedField| {
+        service.cluster().clear_buffer_pools();
+        let q = ThresholdQuery::whole_timestep(raw, derived, 0, 1e12).without_cache();
+        service.get_threshold(&q).unwrap().breakdown
+    };
+    let vort = run("velocity", DerivedField::CurlNorm);
+    let qcrit = run("velocity", DerivedField::QCriterion);
+    let raw = run("magnetic", DerivedField::Norm);
+    assert!(
+        qcrit.compute_s > vort.compute_s,
+        "Q ({:.4}s) should out-cost vorticity ({:.4}s)",
+        qcrit.compute_s,
+        vort.compute_s
+    );
+    assert!(
+        raw.compute_s < vort.compute_s,
+        "raw field ({:.4}s) should be cheapest (vort {:.4}s)",
+        raw.compute_s,
+        vort.compute_s
+    );
+    // raw field needs no halo → strictly less I/O than a derived field
+    assert!(raw.io_s <= vort.io_s);
+}

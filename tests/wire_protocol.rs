@@ -1,0 +1,196 @@
+//! The Web-services layer end to end: a real server on a real socket,
+//! queried by the client library, answers identical to in-process calls.
+
+use std::sync::Arc;
+
+use tdb_bench::test_service;
+use tdb_core::{DerivedField, ThresholdQuery};
+use tdb_wire::server::{handle_line, Server, ServerConfig};
+use tdb_wire::{Client, Response};
+
+fn start_server(tag: &str) -> (Server, Arc<tdb_core::TurbulenceService>) {
+    let service = Arc::new(test_service(tag, 32, 2, 2));
+    let server =
+        Server::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    (server, service)
+}
+
+#[test]
+fn wire_answers_match_in_process_answers() {
+    let (server, service) = start_server("wire_match");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let info = client.info().expect("info");
+    assert_eq!(info.dims, (32, 32, 32));
+    assert_eq!(info.timesteps, 2);
+    assert!(info.fields.iter().any(|(n, c)| n == "velocity" && *c == 3));
+
+    let (_, _, rms, _, max) = client
+        .get_stats("velocity", DerivedField::CurlNorm, 0)
+        .expect("stats");
+    assert!(max > rms);
+    let threshold = 3.0 * rms;
+
+    let wire = client
+        .get_threshold("velocity", DerivedField::CurlNorm, 0, None, threshold)
+        .expect("threshold");
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, threshold);
+    let local = service.get_threshold(&q).expect("local");
+    // first wire query warmed the cache; the local call hits it — answers
+    // must be identical either way
+    assert_eq!(wire.points.len(), local.points.len());
+    for (a, b) in wire.points.iter().zip(&local.points) {
+        assert_eq!(a.zindex, b.zindex);
+        assert!((a.value - b.value).abs() < 1e-6);
+    }
+
+    let pdf = client
+        .get_pdf("velocity", DerivedField::CurlNorm, 0, 0.0, 10.0, 9)
+        .expect("pdf");
+    assert_eq!(pdf.iter().sum::<u64>(), 32 * 32 * 32);
+
+    let top = client
+        .get_topk("velocity", DerivedField::CurlNorm, 0, 5)
+        .expect("topk");
+    assert_eq!(top.len(), 5);
+    assert!(top.windows(2).all(|w| w[0].value >= w[1].value));
+
+    // point interpolation over the wire matches the in-process answer
+    let positions = [[3.5, 4.25, 5.0], [31.0, 0.0, 16.5]];
+    let wire_vals = client
+        .get_points("velocity", 0, 6, &positions)
+        .expect("points");
+    let (local_vals, _) = service
+        .interpolate_at("velocity", 0, &positions, tdb_core::LagOrder::Lag6)
+        .expect("local points");
+    assert_eq!(wire_vals.len(), 2);
+    for (w, l) in wire_vals.iter().zip(&local_vals) {
+        for c in 0..3 {
+            assert!((w[c] - l[c]).abs() < 1e-4);
+        }
+    }
+    // invalid lag width is a clean server error
+    let err = client
+        .get_points("velocity", 0, 5, &positions)
+        .expect_err("lag 5 invalid");
+    assert!(err.to_string().contains("lag_width"));
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn multiple_concurrent_clients() {
+    let (server, _service) = start_server("wire_multi");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.ping().expect("ping");
+                let t = 25.0 + i as f64;
+                let a = c
+                    .get_threshold("velocity", DerivedField::CurlNorm, 0, None, t)
+                    .expect("threshold");
+                a.points.len()
+            })
+        })
+        .collect();
+    let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // monotone thresholds → monotone (non-increasing) result sizes
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+    server.stop();
+}
+
+#[test]
+fn server_reports_query_errors_cleanly() {
+    let (server, _service) = start_server("wire_errors");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // unknown field flows back as a server error, connection stays usable
+    let err = client
+        .get_threshold("nonexistent", DerivedField::Norm, 0, None, 1.0)
+        .expect_err("must fail");
+    assert!(err.to_string().contains("unknown raw field"));
+    client.ping().expect("connection survives an error");
+    // bad timestep
+    let err = client
+        .get_pdf("velocity", DerivedField::Norm, 99, 0.0, 1.0, 4)
+        .expect_err("must fail");
+    assert!(err.to_string().contains("out of range"));
+    server.stop();
+}
+
+#[test]
+fn batch_jobs_and_mydb_over_the_wire() {
+    let (server, _service) = start_server("wire_batch");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (_, _, rms, _, _) = client
+        .get_stats("velocity", DerivedField::CurlNorm, 0)
+        .expect("stats");
+    let job = client
+        .submit_job("velocity", DerivedField::CurlNorm, 0, 3.0 * rms, "wired")
+        .expect("submit");
+    // poll to completion
+    let mut state = String::new();
+    let mut rows = 0;
+    for _ in 0..200 {
+        let (s, _, r) = client.job_status(job).expect("status");
+        state = s;
+        rows = r;
+        if state == "done" || state == "failed" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(state, "done");
+    assert!(rows > 0);
+    // the table is readable through MyDB
+    assert!(client
+        .list_mydb()
+        .expect("list")
+        .contains(&"wired".to_string()));
+    let (prov, points) = client.get_mydb_table("wired").expect("table");
+    assert!(prov.contains("curl_norm"));
+    assert_eq!(points.len() as u64, rows);
+    // identical to an interactive query
+    let direct = client
+        .get_threshold("velocity", DerivedField::CurlNorm, 0, None, 3.0 * rms)
+        .expect("direct");
+    assert_eq!(direct.points.len(), points.len());
+    // failure path: bogus field
+    let bad = client
+        .submit_job("bogus", DerivedField::Norm, 0, 1.0, "never")
+        .expect("submit accepts; job fails");
+    for _ in 0..200 {
+        let (s, detail, _) = client.job_status(bad).expect("status");
+        if s == "failed" {
+            assert!(detail.contains("unknown raw field"));
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(client.job_status(9999).is_err(), "unknown job id errors");
+    server.stop();
+}
+
+#[test]
+fn malformed_lines_get_error_responses() {
+    let service = test_service("wire_malformed", 32, 1, 2);
+    for bad in [
+        "not json at all",
+        "{\"op\":\"launch_missiles\"}",
+        "{\"op\":\"get_threshold\"}",
+        "{\"op\":\"get_pdf\",\"field\":\"velocity\",\"derived\":\"norm\",\"timestep\":0,\"origin\":0,\"bin_width\":-1,\"nbins\":4}",
+        "{\"op\":\"get_topk\",\"field\":\"velocity\",\"derived\":\"norm\",\"timestep\":0,\"k\":0}",
+    ] {
+        match handle_line(bad, &service) {
+            Response::Error { .. } => {}
+            other => panic!("{bad} should produce an error, got {other:?}"),
+        }
+    }
+    // and a well-formed line still works on the same handler
+    match handle_line("{\"op\":\"ping\"}", &service) {
+        Response::Pong => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+}
