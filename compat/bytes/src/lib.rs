@@ -1,0 +1,349 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply cloneable view into shared immutable storage,
+//! `BytesMut` a growable buffer that freezes into `Bytes`, and the
+//! `Buf`/`BufMut` traits provide the big-endian / little-endian accessors
+//! the block codec relies on. Only the surface this workspace uses is
+//! implemented.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable, shared byte storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into owned storage.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same storage (no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice out of bounds: {lo}..{hi} of {len}"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &**self)
+    }
+}
+
+/// Growable byte buffer that can freeze into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into immutable shared storage.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes as a slice.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize) {
+        self.take_bytes(cnt);
+    }
+
+    /// Next byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Next 4 bytes, big-endian.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Next 8 bytes, big-endian.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Next 4 bytes, little-endian.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Next f32, little-endian.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Next f32, big-endian.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let start = self.start;
+        self.start += n;
+        &self.data[start..start + n]
+    }
+}
+
+/// Write-side cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends 4 bytes, big-endian.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends 8 bytes, big-endian.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends 4 bytes, little-endian.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends an f32, little-endian.
+    fn put_f32_le(&mut self, n: f32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends an f32, big-endian.
+    fn put_f32(&mut self, n: f32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_endianness() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_f32_le(1.5);
+        let frozen = b.freeze();
+        let mut cur = frozen.clone();
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert!(!cur.has_remaining());
+        assert_eq!(frozen.len(), 17);
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&*s2, &[3, 4]);
+    }
+
+    #[test]
+    fn buf_on_plain_slice() {
+        let data = [0u8, 0, 0, 42, 9];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u32(), 42);
+        assert_eq!(cur.remaining(), 1);
+        assert_eq!(cur.get_u8(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32();
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline shim for the `rand` crate: the `RngCore`/`Rng`/`SeedableRng`
+//! traits and uniform range sampling over the types this workspace draws
+//! (`f64` ranges for the turbulence generator).
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Types samplable uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1), affinely mapped onto the range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // Affine rounding can land exactly on `end`; clamp back into [start, end).
+        if v >= self.end {
+            self.start.max(prev_down(self.end))
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let wide = (f64::from(self.start)..f64::from(self.end)).sample_single(rng) as f32;
+        if wide >= self.end {
+            self.start
+        } else {
+            wide
+        }
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        // Rejection sampling over the largest multiple of `span` below 2^64.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return self.start + v % span;
+            }
+        }
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        (self.start as u64..self.end as u64).sample_single(rng) as usize
+    }
+}
+
+fn prev_down(x: f64) -> f64 {
+    // Largest float strictly below a finite positive-or-negative x.
+    if x == 0.0 {
+        -f64::MIN_POSITIVE
+    } else {
+        f64::from_bits(if x > 0.0 {
+            x.to_bits() - 1
+        } else {
+            x.to_bits() + 1
+        })
+    }
+}
+
+/// Convenience sampling methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministically constructible generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (e.g. `[u8; 32]`).
+    type Seed;
+
+    /// Builds from full seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds from a 64-bit seed, expanded to full seed material.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Re-exports matching `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Default generator: splitmix64 (fast, decent equidistribution).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            state: u64::from_le_bytes(seed),
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn u64_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(10u64..15) as usize - 10] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline shim for the `rand_chacha` crate: a genuine 8-round ChaCha
+//! keystream generator implementing the rand shim's traits. Deterministic
+//! per seed with high-quality output; not guaranteed bit-compatible with
+//! upstream `rand_chacha` (callers here only rely on determinism and
+//! statistical quality).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, 64-bit output words drawn from the keystream.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means exhausted.
+    pos: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: counter alone separates blocks per key.
+        let input = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column then diagonal).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            pos: 16,
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand 64 seed bits to a 256-bit key with splitmix64.
+        let mut seed = [0u8; 32];
+        let mut s = state;
+        for chunk in seed.chunks_exact_mut(8) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_doubles_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc7539_vector() {
+        // RFC 7539 §2.1.1 test vector for one quarter round.
+        let mut st = [0u32; 16];
+        st[0] = 0x1111_1111;
+        st[1] = 0x0102_0304;
+        st[2] = 0x9b8d_6f43;
+        st[3] = 0x0123_4567;
+        quarter_round(&mut st, 0, 1, 2, 3);
+        assert_eq!(st[0], 0xea2a_92f4);
+        assert_eq!(st[1], 0xcb1c_f8ce);
+        assert_eq!(st[2], 0x4581_472e);
+        assert_eq!(st[3], 0x5881_c4bb);
+    }
+}

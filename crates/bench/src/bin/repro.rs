@@ -103,6 +103,35 @@ fn main() {
     } else {
         println!("(machine-readable results written to {path})");
     }
+    // process-wide observability counters accumulated across the whole run:
+    // buffer-pool traffic, cache hits/misses, per-device I/O, query outcomes
+    let snap = repro.service.metrics_snapshot();
+    let metrics_doc = Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                snap.counters
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                snap.gauges
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mpath = "repro_metrics.json";
+    if let Err(e) = std::fs::write(mpath, metrics_doc.encode()) {
+        eprintln!("could not write {mpath}: {e}");
+    } else {
+        println!("(metrics snapshot written to {mpath})");
+    }
 }
 
 fn build_service(grid_n: usize, timesteps: u32, nodes: usize, tag: &str) -> TurbulenceService {

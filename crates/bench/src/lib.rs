@@ -3,15 +3,48 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+use std::time::Duration;
 
 use tdb_cluster::ClusterConfig;
 use tdb_core::{ServiceConfig, TurbulenceService};
 use tdb_turbgen::SyntheticDataset;
 
 static UNIQUE: AtomicU64 = AtomicU64::new(0);
+static CLEAN_STALE: Once = Once::new();
 
-/// A fresh scratch directory under the system temp dir.
+/// Best-effort removal of `thresholdb_*` scratch dirs left behind by
+/// crashed or killed runs. Only dirs untouched for a day are removed, so
+/// concurrent test processes never race each other.
+fn clean_stale_scratch() {
+    let cutoff = Duration::from_secs(24 * 60 * 60);
+    let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if !entry
+            .file_name()
+            .to_string_lossy()
+            .starts_with("thresholdb_")
+        {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > cutoff);
+        if stale {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+/// A fresh scratch directory under the system temp dir. The first call per
+/// process also sweeps out stale scratch dirs from previous runs.
 pub fn scratch_dir(tag: &str) -> PathBuf {
+    CLEAN_STALE.call_once(clean_stale_scratch);
     let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!("thresholdb_{tag}_{}_{n}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");

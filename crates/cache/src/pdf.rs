@@ -98,10 +98,12 @@ impl PdfCache {
                     let _ = bump.commit();
                 }
                 self.stats.lock().hits += 1;
+                tdb_obs::add("cache.pdf.hits", 1);
                 PdfLookup::Hit(entry.counts)
             }
             _ => {
                 self.stats.lock().misses += 1;
+                tdb_obs::add("cache.pdf.misses", 1);
                 PdfLookup::Miss
             }
         }
@@ -141,8 +143,11 @@ impl PdfCache {
             let mut s = self.stats.lock();
             s.inserts += 1;
             s.evictions += evictions;
+            tdb_obs::add("cache.pdf.inserts", 1);
+            tdb_obs::add("cache.pdf.evictions", evictions);
         } else {
             self.stats.lock().conflicts += 1;
+            tdb_obs::add("cache.pdf.conflicts", 1);
         }
     }
 

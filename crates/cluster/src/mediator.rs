@@ -13,6 +13,7 @@ use std::sync::Arc;
 use tdb_cache::{CacheStats, ThresholdPoint};
 use tdb_field::{Grid3, Histogram, VectorField};
 use tdb_kernels::{DerivedField, DiffScheme};
+use tdb_obs::{QueryTrace, TraceSpan};
 use tdb_storage::device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
 use tdb_storage::{AtomKey, AtomRecord, BlockCache, StorageResult, TableBuilder};
 use tdb_zorder::{AtomCoord, Box3, ZRange};
@@ -47,6 +48,8 @@ pub struct ThresholdResponse {
     pub nodes: usize,
     /// Real wall-clock of the in-process evaluation.
     pub wall_s: f64,
+    /// Span tree of the query's phases and per-node work.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Assembled answer of a PDF query.
@@ -55,6 +58,7 @@ pub struct PdfResponse {
     pub histogram: Histogram,
     pub breakdown: TimeBreakdown,
     pub wall_s: f64,
+    pub trace: Option<QueryTrace>,
 }
 
 /// Assembled answer of a top-k query.
@@ -63,6 +67,7 @@ pub struct TopKResponse {
     pub points: Vec<ThresholdPoint>,
     pub breakdown: TimeBreakdown,
     pub wall_s: f64,
+    pub trace: Option<QueryTrace>,
 }
 
 /// Builds a cluster: devices, placement, and bulk-loaded tables.
@@ -312,6 +317,74 @@ impl Cluster {
         (max_serial / procs.max(1) as f64).max(global_floor)
     }
 
+    /// Builds the span tree of a finished query. Phase spans carry the
+    /// final breakdown's durations verbatim (so the trace is always
+    /// consistent with the reported [`TimeBreakdown`]); per-node child
+    /// spans under `phase.io` carry the measured detail — cache outcome,
+    /// atoms scanned, buffer-pool hits/misses, bytes charged per device.
+    fn build_trace(
+        &self,
+        kind: &str,
+        results: &[&NodeResult],
+        node_points: &[u64],
+        breakdown: &TimeBreakdown,
+        points_returned: u64,
+        wall_s: f64,
+    ) -> QueryTrace {
+        let mut root = TraceSpan::new(format!("query.{kind}"), 0.0, breakdown.total_s())
+            .with_attr("points", points_returned)
+            .with_attr("nodes", results.len() as u64)
+            .with_attr("wall_s", wall_s);
+        let mut t = 0.0;
+        root.push_child(TraceSpan::new(
+            "phase.cache_lookup",
+            t,
+            breakdown.cache_lookup_s,
+        ));
+        t += breakdown.cache_lookup_s;
+        let mut io = TraceSpan::new("phase.io", t, breakdown.io_s);
+        for (i, r) in results.iter().enumerate() {
+            let mut node = TraceSpan::new(format!("node.{i}"), t, r.io_s)
+                .with_attr("cache", if r.cache_hit { "hit" } else { "miss" })
+                .with_attr("atoms_scanned", r.atoms_scanned)
+                .with_attr("points", node_points.get(i).copied().unwrap_or(0))
+                .with_attr("pool_hits", r.session.pool_hits)
+                .with_attr("pool_misses", r.session.pool_misses)
+                .with_attr("cache_lookup_s", r.cache_lookup_s)
+                .with_attr("compute_s", r.compute_s)
+                .with_attr("node_wall_s", r.wall_s);
+            // several devices can share a profile name (a node has many
+            // identical disk arrays), so aggregate bytes per name
+            let mut by_device: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for (dev, a) in r.session.devices() {
+                *by_device
+                    .entry(format!("bytes.{}", self.registry.profile(dev).name))
+                    .or_default() += a.bytes;
+            }
+            for (key, bytes) in by_device {
+                node.set_attr(key, bytes);
+            }
+            io.push_child(node);
+        }
+        root.push_child(io);
+        t += breakdown.io_s;
+        root.push_child(TraceSpan::new("phase.compute", t, breakdown.compute_s));
+        t += breakdown.compute_s;
+        root.push_child(TraceSpan::new(
+            "phase.mediator_db",
+            t,
+            breakdown.mediator_db_s,
+        ));
+        t += breakdown.mediator_db_s;
+        root.push_child(TraceSpan::new(
+            "phase.mediator_user",
+            t,
+            breakdown.mediator_user_s,
+        ));
+        QueryTrace::new(root)
+    }
+
     /// Evaluates a threshold query: scatter to nodes, gather, assemble.
     pub fn get_threshold(&self, req: &ThresholdRequest) -> StorageResult<ThresholdResponse> {
         let wall = std::time::Instant::now();
@@ -331,6 +404,7 @@ impl Cluster {
                 .map(|h| h.join().expect("node thread"))
                 .collect::<StorageResult<Vec<_>>>()
         })?;
+        let mut results = results;
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         let mut cache_hits = 0;
@@ -339,7 +413,8 @@ impl Cluster {
             cache_hits += usize::from(r.cache_hit);
         }
         breakdown.io_s = self.cluster_io_s(&results, sub.procs);
-        for mut r in results {
+        let node_points: Vec<u64> = results.iter().map(|r| r.points.len() as u64).collect();
+        for r in &mut results {
             points.append(&mut r.points);
         }
         points.sort_unstable_by_key(|p| p.zindex);
@@ -352,12 +427,19 @@ impl Cluster {
             .registry
             .profile(self.wan)
             .time(2, wire::xml_result_bytes(n));
+        let wall_s = wall.elapsed().as_secs_f64();
+        let refs: Vec<&NodeResult> = results.iter().collect();
+        let trace = self.build_trace("threshold", &refs, &node_points, &breakdown, n, wall_s);
+        tdb_obs::add("query.threshold.count", 1);
+        tdb_obs::add("query.points_returned", n);
+        tdb_obs::observe("query.threshold.wall_s", wall_s);
         Ok(ThresholdResponse {
             points,
             breakdown,
             cache_hits,
             nodes: self.nodes.len(),
-            wall_s: wall.elapsed().as_secs_f64(),
+            wall_s,
+            trace: Some(trace),
         })
     }
 
@@ -402,10 +484,16 @@ impl Cluster {
             .registry
             .profile(self.wan)
             .time(2, (nbins as u64 + 1) * 64);
+        let wall_s = wall.elapsed().as_secs_f64();
+        let node_points = vec![0u64; node_results.len()];
+        let trace = self.build_trace("pdf", &node_results, &node_points, &breakdown, 0, wall_s);
+        tdb_obs::add("query.pdf.count", 1);
+        tdb_obs::observe("query.pdf.wall_s", wall_s);
         Ok(PdfResponse {
             histogram: hist,
             breakdown,
-            wall_s: wall.elapsed().as_secs_f64(),
+            wall_s,
+            trace: Some(trace),
         })
     }
 
@@ -429,6 +517,7 @@ impl Cluster {
                 .map(|h| h.join().expect("node thread"))
                 .collect::<StorageResult<Vec<_>>>()
         })?;
+        let mut results = results;
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         {
@@ -438,8 +527,9 @@ impl Cluster {
             }
             breakdown.io_s = self.cluster_io_ref(&node_results, sub.procs);
         }
-        for (p, _) in results {
-            points.extend(p);
+        let node_points: Vec<u64> = results.iter().map(|(p, _)| p.len() as u64).collect();
+        for (p, _) in &mut results {
+            points.append(p);
         }
         points.sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
         points.truncate(k);
@@ -452,10 +542,17 @@ impl Cluster {
             .registry
             .profile(self.wan)
             .time(2, wire::xml_result_bytes(n));
+        let wall_s = wall.elapsed().as_secs_f64();
+        let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
+        let trace = self.build_trace("topk", &node_results, &node_points, &breakdown, n, wall_s);
+        tdb_obs::add("query.topk.count", 1);
+        tdb_obs::add("query.points_returned", n);
+        tdb_obs::observe("query.topk.wall_s", wall_s);
         Ok(TopKResponse {
             points,
             breakdown,
-            wall_s: wall.elapsed().as_secs_f64(),
+            wall_s,
+            trace: Some(trace),
         })
     }
 

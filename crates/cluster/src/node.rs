@@ -60,6 +60,10 @@ impl ThresholdSubquery {
     }
 }
 
+/// Per-chunk worker output: points found, modelled cost, chunk I/O
+/// session, atoms fetched.
+type ChunkOutcome = (Vec<ThresholdPoint>, ChunkCost, IoSession, u64);
+
 /// Outcome of one node's threshold subquery.
 #[derive(Debug)]
 pub struct NodeResult {
@@ -77,6 +81,8 @@ pub struct NodeResult {
     pub compute_s: f64,
     /// Raw measured wall-clock of the node evaluation.
     pub wall_s: f64,
+    /// Atoms fetched (local + halo) while evaluating from raw data.
+    pub atoms_scanned: u64,
     /// Device accesses of the whole subquery.
     pub session: IoSession,
 }
@@ -200,6 +206,7 @@ impl NodeRuntime {
         peers: &[Arc<NodeRuntime>],
         q: &ThresholdSubquery,
     ) -> StorageResult<NodeResult> {
+        let _active = ActiveGuard::new();
         let wall = Instant::now();
         let mut session = IoSession::new();
         // --- cache probe -------------------------------------------------
@@ -217,6 +224,7 @@ impl NodeRuntime {
                 (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
             session.merge(&probe_session);
             if let CacheLookup::Hit(points) = outcome {
+                self.report_session(&session);
                 return Ok(NodeResult {
                     points,
                     cache_hit: true,
@@ -225,16 +233,18 @@ impl NodeRuntime {
                     io_serial_s: 0.0,
                     compute_s: 0.0,
                     wall_s: wall.elapsed().as_secs_f64(),
+                    atoms_scanned: 0,
                     session,
                 });
             }
         }
         // --- evaluate from raw data --------------------------------------
         let tasks = self.tasks_for(&q.query_box);
-        let results: Vec<StorageResult<(Vec<ThresholdPoint>, ChunkCost, IoSession)>> = self
-            .run_workers(q.procs, &tasks, |domain| {
+        let results: Vec<StorageResult<ChunkOutcome>> =
+            self.run_workers(q.procs, &tasks, |domain| {
                 let mut chunk_session = IoSession::new();
                 let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
+                let chunk_atoms = atoms.len() as u64;
                 let mut points = Vec::new();
                 let mut compute_s = 0.0;
                 if q.mode == QueryMode::Full {
@@ -266,14 +276,16 @@ impl NodeRuntime {
                         .collect(),
                     compute_s,
                 };
-                Ok((points, cost, chunk_session))
+                Ok((points, cost, chunk_session, chunk_atoms))
             });
         let mut points = Vec::new();
         let mut costs = Vec::with_capacity(results.len());
+        let mut atoms_scanned = 0u64;
         for r in results {
-            let (p, cost, chunk_session) = r?;
+            let (p, cost, chunk_session, chunk_atoms) = r?;
             points.extend(p);
             costs.push(cost);
+            atoms_scanned += chunk_atoms;
             session.merge(&chunk_session);
         }
         points.sort_unstable_by_key(|p| p.zindex);
@@ -294,6 +306,8 @@ impl NodeRuntime {
             io_s += insert_session.makespan(&self.registry);
             session.merge(&insert_session);
         }
+        self.report_session(&session);
+        tdb_obs::add("node.atoms_scanned", atoms_scanned);
         Ok(NodeResult {
             compute_s: compute_phase,
             points,
@@ -302,8 +316,20 @@ impl NodeRuntime {
             io_s,
             io_serial_s: model.io_serial,
             wall_s: wall.elapsed().as_secs_f64(),
+            atoms_scanned,
             session,
         })
+    }
+
+    /// Mirrors a subquery's device charges into the global metrics
+    /// registry as `io.ops.<device>` / `io.bytes.<device>` counters.
+    fn report_session(&self, session: &IoSession) {
+        let reg = tdb_obs::global();
+        for (dev, access) in session.devices() {
+            let name = &self.registry.profile(dev).name;
+            reg.add(&format!("io.ops.{name}"), access.ops);
+            reg.add(&format!("io.bytes.{name}"), access.bytes);
+        }
     }
 
     /// Evaluates this node's share of a PDF (histogram) query — same scan
@@ -331,6 +357,7 @@ impl NodeRuntime {
                 hist.set_counts(&counts);
                 let cache_lookup_s =
                     (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
+                self.report_session(&probe_session);
                 let node = NodeResult {
                     points: Vec::new(),
                     cache_hit: true,
@@ -339,16 +366,18 @@ impl NodeRuntime {
                     io_serial_s: 0.0,
                     compute_s: 0.0,
                     wall_s: wall.elapsed().as_secs_f64(),
+                    atoms_scanned: 0,
                     session: probe_session,
                 };
                 return Ok((hist, node));
             }
         }
         let tasks = self.tasks_for(&q.query_box);
-        let results: Vec<StorageResult<(tdb_field::Histogram, ChunkCost, IoSession)>> = self
+        let results: Vec<StorageResult<(tdb_field::Histogram, ChunkCost, IoSession, u64)>> = self
             .run_workers(q.procs, &tasks, |domain| {
                 let mut chunk_session = IoSession::new();
                 let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
+                let chunk_atoms = atoms.len() as u64;
                 let c0 = thread_cpu_time_s();
                 let halo = q.derived.halo(&self.scheme);
                 let padded =
@@ -373,15 +402,17 @@ impl NodeRuntime {
                         .collect(),
                     compute_s: (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale,
                 };
-                Ok((hist, cost, chunk_session))
+                Ok((hist, cost, chunk_session, chunk_atoms))
             });
         let mut hist = tdb_field::Histogram::new(origin, width, nbins);
         let mut costs = Vec::new();
         let mut session = IoSession::new();
+        let mut atoms_scanned = 0u64;
         for r in results {
-            let (h, cost, s) = r?;
+            let (h, cost, s, chunk_atoms) = r?;
             hist.merge(&h);
             costs.push(cost);
+            atoms_scanned += chunk_atoms;
             session.merge(&s);
         }
         if q.use_cache {
@@ -395,6 +426,8 @@ impl NodeRuntime {
             session.merge(&insert_session);
         }
         let model = NodeTimeModel::from_costs(&costs, &self.registry);
+        self.report_session(&session);
+        tdb_obs::add("node.atoms_scanned", atoms_scanned);
         let node = NodeResult {
             points: Vec::new(),
             cache_hit: false,
@@ -403,6 +436,7 @@ impl NodeRuntime {
             io_serial_s: model.io_serial,
             compute_s: model.compute_s(q.procs),
             wall_s: wall.elapsed().as_secs_f64(),
+            atoms_scanned,
             session,
         };
         Ok((hist, node))
@@ -524,17 +558,39 @@ impl NodeRuntime {
     }
 }
 
+/// RAII increment of the `node.active_subqueries` gauge.
+struct ActiveGuard(tdb_obs::Gauge);
+
+impl ActiveGuard {
+    fn new() -> Self {
+        let g = tdb_obs::global().gauge("node.active_subqueries");
+        g.inc();
+        Self(g)
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 /// Scans an evaluated norm field, returning every point at or above the
 /// threshold with its global Morton code.
+///
+/// The comparison is in f64, matching the warm-path filter in
+/// `SemanticCache::lookup` — comparing in f32 (`threshold as f32`) rounds
+/// the threshold and can admit points a later cache hit would reject,
+/// making warm results differ from cold ones at thresholds that are not
+/// exactly representable in f32.
 fn threshold_scan(norm: &ScalarField, domain: &Box3, threshold: f64) -> Vec<ThresholdPoint> {
     let (_nx, ny, nz) = norm.dims();
-    let thr = threshold as f32;
     let mut out = Vec::new();
     for z in 0..nz {
         for y in 0..ny {
             let row = norm.row(y, z);
             for (x, &v) in row.iter().enumerate() {
-                if v >= thr {
+                if f64::from(v) >= threshold {
                     out.push(ThresholdPoint {
                         zindex: encode3(
                             domain.lo[0] + x as u32,
@@ -567,6 +623,23 @@ mod tests {
         // threshold is inclusive
         let pts = threshold_scan(&f, &domain, 4.9);
         assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn threshold_scan_compares_in_f64() {
+        // 25.000000001 is not representable in f32: it rounds to exactly
+        // 25.0, so an f32 comparison would wrongly admit a 25.0 point.
+        // The warm-path cache filter compares in f64 and would then drop
+        // it, making warm results differ from cold ones.
+        let mut f = ScalarField::zeros(2, 2, 2);
+        f.set(0, 0, 0, 25.0);
+        f.set(1, 1, 1, 26.0);
+        let domain = Box3::new([0, 0, 0], [1, 1, 1]);
+        let thr = 25.000000001_f64;
+        assert_eq!(thr as f32, 25.0_f32, "threshold must round to 25 in f32");
+        let pts = threshold_scan(&f, &domain, thr);
+        assert_eq!(pts.len(), 1, "the 25.0 point must be excluded");
+        assert_eq!(pts[0].value, 26.0);
     }
 
     #[test]

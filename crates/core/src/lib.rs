@@ -39,5 +39,6 @@ pub use tdb_cache::ThresholdPoint;
 pub use tdb_cluster::{QueryMode, TimeBreakdown};
 pub use tdb_kernels::interp::LagOrder;
 pub use tdb_kernels::{DerivedField, FdOrder};
+pub use tdb_obs::{AttrValue, MetricsSnapshot, QueryTrace, TraceSpan};
 pub use tdb_turbgen::SyntheticDataset;
 pub use tdb_zorder::Box3;

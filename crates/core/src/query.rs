@@ -94,6 +94,8 @@ pub struct ThresholdResult {
     pub nodes: usize,
     /// Real wall-clock of the in-process evaluation.
     pub wall_s: f64,
+    /// Span tree of the query's phases and per-node work.
+    pub trace: Option<tdb_obs::QueryTrace>,
 }
 
 #[cfg(test)]

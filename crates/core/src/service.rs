@@ -148,29 +148,40 @@ impl TurbulenceService {
     pub fn get_threshold(&self, q: &ThresholdQuery) -> Result<ThresholdResult, QueryError> {
         let req = self.request(q);
         self.validate(&q.raw_field, q.timestep, &req.query_box)?;
+        let response = self.cluster.get_threshold(&req).map_err(|e| {
+            tdb_obs::add("query.threshold.failed", 1);
+            QueryError::Backend(e.to_string())
+        })?;
         let ThresholdResponse {
             points,
             breakdown,
             cache_hits,
             nodes,
             wall_s,
-        } = self
-            .cluster
-            .get_threshold(&req)
-            .map_err(|e| QueryError::Backend(e.to_string()))?;
+            trace,
+        } = response;
         if points.len() as u64 > self.limits.max_points {
+            tdb_obs::add("query.threshold.rejected", 1);
             return Err(QueryError::ThresholdTooLow {
                 points: points.len() as u64,
                 limit: self.limits.max_points,
             });
         }
+        tdb_obs::add("query.threshold.ok", 1);
         Ok(ThresholdResult {
             points,
             breakdown,
             cache_hits,
             nodes,
             wall_s,
+            trace,
         })
+    }
+
+    /// A frozen view of every process-wide metric (buffer-pool and cache
+    /// counters, per-device I/O, query counts and latencies).
+    pub fn metrics_snapshot(&self) -> tdb_obs::MetricsSnapshot {
+        tdb_obs::global().snapshot()
     }
 
     /// PDF of the derived field's norm over a time-step (paper Fig. 2).

@@ -1,0 +1,19 @@
+//! `tdb-obs`: query-path observability for ThresholDB.
+//!
+//! Two pieces, both dependency-free:
+//!
+//! * [`metrics`] — a process-wide registry of named atomic counters,
+//!   gauges and log₂-bucketed histograms that storage, cache, cluster
+//!   and service layers report into as they work.
+//! * [`trace`] — a per-query span tree ([`QueryTrace`]) the mediator
+//!   assembles for each threshold / PDF / top-k query, with one span per
+//!   phase plus per-node detail spans carrying structured attributes.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    add, global, observe, Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{AttrValue, QueryTrace, TraceSpan};

@@ -1,0 +1,231 @@
+//! Per-query traces: a span tree over the query's phases.
+//!
+//! The mediator assembles one [`QueryTrace`] per threshold / PDF / top-k
+//! query. Phase spans (`phase.*`) carry the *modelled* durations of the
+//! time breakdown — so the trace is always consistent with the reported
+//! `TimeBreakdown` — while per-node spans (`node.*`) carry measured
+//! wall-clock plus structured attributes: cache outcome, atoms scanned,
+//! buffer-pool hits/misses, bytes charged per device.
+
+use std::fmt;
+
+/// A structured attribute value on a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v:.6}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One span: a named phase with a start offset and duration (seconds,
+/// relative to the trace origin), attributes, and child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    pub name: String,
+    /// Offset from the query's start, seconds.
+    pub start_s: f64,
+    pub duration_s: f64,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// A leaf span.
+    pub fn new(name: impl Into<String>, start_s: f64, duration_s: f64) -> Self {
+        Self {
+            name: name.into(),
+            start_s,
+            duration_s,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds an attribute in place.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
+        self.attrs.push((key.into(), value.into()));
+    }
+
+    /// Appends a child span.
+    pub fn push_child(&mut self, child: TraceSpan) {
+        self.children.push(child);
+    }
+
+    /// End offset of the span.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// An attribute's value.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first search for the first span named `name` (self included).
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        use fmt::Write;
+        let indent = "  ".repeat(depth);
+        let _ = write!(
+            out,
+            "{indent}{} [{:.4}s +{:.4}s]",
+            self.name, self.start_s, self.duration_s
+        );
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// The trace of one query: a span tree rooted at the whole query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    pub root: TraceSpan,
+}
+
+impl QueryTrace {
+    /// Wraps a root span.
+    pub fn new(root: TraceSpan) -> Self {
+        Self { root }
+    }
+
+    /// Finds a span anywhere in the tree by name.
+    pub fn span(&self, name: &str) -> Option<&TraceSpan> {
+        self.root.find(name)
+    }
+
+    /// Every span in the tree, depth-first.
+    pub fn spans(&self) -> Vec<&TraceSpan> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            stack.extend(s.children.iter().rev());
+        }
+        out
+    }
+
+    /// Human-readable indented tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        let mut root = TraceSpan::new("query.threshold", 0.0, 2.5)
+            .with_attr("points", 42u64)
+            .with_attr("wall_s", 0.031);
+        root.push_child(TraceSpan::new("phase.cache_lookup", 0.0, 0.01));
+        let mut io = TraceSpan::new("phase.io", 0.01, 2.0);
+        io.push_child(TraceSpan::new("node.0", 0.01, 1.8).with_attr("cache", "miss"));
+        root.push_child(io);
+        QueryTrace::new(root)
+    }
+
+    #[test]
+    fn find_searches_depth_first() {
+        let t = sample();
+        assert!(t.span("query.threshold").is_some());
+        assert_eq!(t.span("node.0").unwrap().duration_s, 1.8);
+        assert!(t.span("nope").is_none());
+    }
+
+    #[test]
+    fn attrs_and_end_offset() {
+        let t = sample();
+        let root = &t.root;
+        assert_eq!(root.attr("points"), Some(&AttrValue::U64(42)));
+        assert!(root.attr("missing").is_none());
+        let io = t.span("phase.io").unwrap();
+        assert!((io.end_s() - 2.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_enumerates_whole_tree_depth_first() {
+        let t = sample();
+        let names: Vec<&str> = t.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "query.threshold",
+                "phase.cache_lookup",
+                "phase.io",
+                "node.0"
+            ]
+        );
+    }
+
+    #[test]
+    fn render_shows_tree_and_attrs() {
+        let r = sample().render();
+        assert!(r.contains("query.threshold"));
+        assert!(r.contains("  phase.io"));
+        assert!(r.contains("    node.0"));
+        assert!(r.contains("cache=miss"));
+        assert!(r.contains("points=42"));
+    }
+}

@@ -51,11 +51,15 @@ struct PoolInner<V> {
 /// serialises concurrent misses the way a single set of disks would.
 pub struct BufferPool<V: PoolValue = Bytes> {
     inner: Mutex<PoolInner<V>>,
+    obs_hits: tdb_obs::Counter,
+    obs_misses: tdb_obs::Counter,
+    obs_evictions: tdb_obs::Counter,
 }
 
 impl<V: PoolValue> BufferPool<V> {
     /// Pool bounded at `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Self {
+        let reg = tdb_obs::global();
         Self {
             inner: Mutex::new(PoolInner {
                 capacity_bytes,
@@ -64,6 +68,9 @@ impl<V: PoolValue> BufferPool<V> {
                 blocks: HashMap::new(),
                 lru: BTreeMap::new(),
             }),
+            obs_hits: reg.counter("bufferpool.hits"),
+            obs_misses: reg.counter("bufferpool.misses"),
+            obs_evictions: reg.counter("bufferpool.evictions"),
         }
     }
 
@@ -85,10 +92,12 @@ impl<V: PoolValue> BufferPool<V> {
             inner.lru.remove(&old);
             inner.lru.insert(now, key);
             session.pool_hits += 1;
+            self.obs_hits.inc();
             return Ok(data);
         }
         let data = load(session)?;
         session.pool_misses += 1;
+        self.obs_misses.inc();
         inner.used_bytes += data.weight();
         inner.blocks.insert(key, (data.clone(), now));
         inner.lru.insert(now, key);
@@ -97,6 +106,7 @@ impl<V: PoolValue> BufferPool<V> {
             inner.lru.remove(&oldest);
             if let Some((evicted, _)) = inner.blocks.remove(&victim) {
                 inner.used_bytes -= evicted.weight();
+                self.obs_evictions.inc();
             }
         }
         Ok(data)

@@ -22,7 +22,9 @@ fn usage() -> ! {
          \x20 threshold FIELD DERIVED TIMESTEP K\n\
          \x20 pdf FIELD DERIVED TIMESTEP ORIGIN WIDTH NBINS\n\
          \x20 topk FIELD DERIVED TIMESTEP K\n\
-         \x20 points FIELD TIMESTEP LAGWIDTH X,Y,Z [X,Y,Z ...]"
+         \x20 points FIELD TIMESTEP LAGWIDTH X,Y,Z [X,Y,Z ...]\n\
+         \x20 metrics\n\
+         \x20 trace FIELD DERIVED TIMESTEP K"
     );
     std::process::exit(2);
 }
@@ -147,6 +149,19 @@ fn run(client: &mut Client, cmd: &str, rest: &[String]) -> Result<(), Box<dyn st
                     pos[0], pos[1], pos[2], v[0], v[1], v[2]
                 );
             }
+        }
+        ("metrics", []) => {
+            let (counters, gauges) = client.metrics()?;
+            for (name, v) in counters {
+                println!("  {name} = {v}");
+            }
+            for (name, v) in gauges {
+                println!("  {name} = {v} (gauge)");
+            }
+        }
+        ("trace", [f, d, t, k]) => {
+            let trace = client.get_trace(f, derived(d), t.parse()?, None, k.parse()?)?;
+            print!("{}", trace.render());
         }
         _ => usage(),
     }

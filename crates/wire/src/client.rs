@@ -66,6 +66,9 @@ pub struct ThresholdAnswer {
     pub nodes: u32,
 }
 
+/// Metrics snapshot as name-sorted `(counters, gauges)` pairs.
+pub type MetricsPairs = (Vec<(String, u64)>, Vec<(String, i64)>);
+
 /// A connected client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -269,6 +272,37 @@ impl Client {
         })? {
             Response::MyDbTable { provenance, points } => Ok((provenance, points)),
             _ => Err(ClientError::UnexpectedResponse("mydb_table")),
+        }
+    }
+
+    /// Snapshot of the server's process-wide metrics: `(counters, gauges)`
+    /// sorted by name.
+    pub fn metrics(&mut self) -> Result<MetricsPairs, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { counters, gauges } => Ok((counters, gauges)),
+            _ => Err(ClientError::UnexpectedResponse("metrics")),
+        }
+    }
+
+    /// Runs a threshold query and returns its span tree.
+    pub fn get_trace(
+        &mut self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+        query_box: Option<Box3>,
+        threshold: f64,
+    ) -> Result<tdb_core::QueryTrace, ClientError> {
+        match self.call(&Request::GetTrace {
+            raw_field: raw_field.to_string(),
+            derived,
+            timestep,
+            query_box,
+            threshold,
+            use_cache: true,
+        })? {
+            Response::Trace { trace } => Ok(trace),
+            _ => Err(ClientError::UnexpectedResponse("trace")),
         }
     }
 

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use tdb_core::{DerivedField, ThresholdPoint, TimeBreakdown};
+use tdb_core::{AttrValue, DerivedField, QueryTrace, ThresholdPoint, TimeBreakdown, TraceSpan};
 use tdb_zorder::Box3;
 
 use crate::json::Json;
@@ -142,6 +142,18 @@ pub enum Request {
     ListMyDb,
     /// Reads a MyDB table's points.
     GetMyDbTable { name: String },
+    /// Snapshot of the server's process-wide metrics.
+    Metrics,
+    /// Runs a threshold query but returns its span tree instead of the
+    /// points (query-path introspection).
+    GetTrace {
+        raw_field: String,
+        derived: DerivedField,
+        timestep: u32,
+        query_box: Option<Box3>,
+        threshold: f64,
+        use_cache: bool,
+    },
 }
 
 impl Request {
@@ -252,6 +264,28 @@ impl Request {
                 ("op", Json::Str("get_mydb_table".into())),
                 ("name", Json::Str(name.clone())),
             ]),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
+            Request::GetTrace {
+                raw_field,
+                derived,
+                timestep,
+                query_box,
+                threshold,
+                use_cache,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("get_trace".into())),
+                    ("field", Json::Str(raw_field.clone())),
+                    ("derived", Json::Str(derived.name())),
+                    ("timestep", Json::Num(f64::from(*timestep))),
+                    ("threshold", Json::Num(*threshold)),
+                    ("use_cache", Json::Bool(*use_cache)),
+                ];
+                if let Some(b) = query_box {
+                    pairs.push(("box", box_to_json(b)));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 
@@ -331,6 +365,18 @@ impl Request {
             "get_mydb_table" => Ok(Request::GetMyDbTable {
                 name: str_field(v, "name")?,
             }),
+            "metrics" => Ok(Request::Metrics),
+            "get_trace" => Ok(Request::GetTrace {
+                raw_field: str_field(v, "field")?,
+                derived: derived_field(v)?,
+                timestep: u64_field(v, "timestep")? as u32,
+                query_box: match v.get("box") {
+                    Some(b) => Some(box_from_json(b)?),
+                    None => None,
+                },
+                threshold: num_field(v, "threshold")?,
+                use_cache: v.get("use_cache").and_then(Json::as_bool).unwrap_or(true),
+            }),
             other => Err(ProtoError(format!("unknown op '{other}'"))),
         }
     }
@@ -391,9 +437,75 @@ pub enum Response {
         provenance: String,
         points: Vec<ThresholdPoint>,
     },
+    /// Process-wide metric values (sorted by name).
+    Metrics {
+        counters: Vec<(String, u64)>,
+        gauges: Vec<(String, i64)>,
+    },
+    /// A query's span tree. Attribute values arrive as display strings.
+    Trace {
+        trace: QueryTrace,
+    },
     Error {
         message: String,
     },
+}
+
+fn span_to_json(s: &TraceSpan) -> Json {
+    Json::obj([
+        ("name", Json::Str(s.name.clone())),
+        ("start_s", Json::Num(s.start_s)),
+        ("duration_s", Json::Num(s.duration_s)),
+        (
+            "attrs",
+            Json::Arr(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.to_string())]))
+                    .collect(),
+            ),
+        ),
+        (
+            "children",
+            Json::Arr(s.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<TraceSpan, ProtoError> {
+    let attrs = v
+        .get("attrs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError("span attrs must be an array".into()))?
+        .iter()
+        .map(|pair| {
+            let a = pair
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| ProtoError("span attr must be [key, value]".into()))?;
+            let key = a[0]
+                .as_str()
+                .ok_or_else(|| ProtoError("attr key must be a string".into()))?;
+            let val = a[1]
+                .as_str()
+                .ok_or_else(|| ProtoError("attr value must be a string".into()))?;
+            Ok((key.to_string(), AttrValue::Str(val.to_string())))
+        })
+        .collect::<Result<Vec<_>, ProtoError>>()?;
+    let children = v
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError("span children must be an array".into()))?
+        .iter()
+        .map(span_from_json)
+        .collect::<Result<Vec<_>, ProtoError>>()?;
+    Ok(TraceSpan {
+        name: str_field(v, "name")?,
+        start_s: num_field(v, "start_s")?,
+        duration_s: num_field(v, "duration_s")?,
+        attrs,
+        children,
+    })
 }
 
 fn points_to_json(points: &[ThresholdPoint]) -> Json {
@@ -580,6 +692,35 @@ impl Response {
                 ("provenance", Json::Str(provenance.clone())),
                 ("points", points_to_json(points)),
             ]),
+            Response::Metrics { counters, gauges } => Json::obj([
+                ("ok", Json::Str("metrics".into())),
+                (
+                    "counters",
+                    Json::Arr(
+                        counters
+                            .iter()
+                            .map(|(k, v)| {
+                                Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges",
+                    Json::Arr(
+                        gauges
+                            .iter()
+                            .map(|(k, v)| {
+                                Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Trace { trace } => Json::obj([
+                ("ok", Json::Str("trace".into())),
+                ("root", span_to_json(&trace.root)),
+            ]),
             Response::Error { message } => Json::obj([("error", Json::Str(message.clone()))]),
         }
     }
@@ -669,6 +810,41 @@ impl Response {
             "mydb_table" => Ok(Response::MyDbTable {
                 provenance: str_field(v, "provenance")?,
                 points: points_from_json(field(v, "points")?)?,
+            }),
+            "metrics" => {
+                let pairs = |key: &str| -> Result<Vec<(String, f64)>, ProtoError> {
+                    v.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| ProtoError(format!("{key} must be an array")))?
+                        .iter()
+                        .map(|pair| {
+                            let a = pair
+                                .as_arr()
+                                .filter(|a| a.len() == 2)
+                                .ok_or_else(|| ProtoError("metric must be [name, value]".into()))?;
+                            let name = a[0]
+                                .as_str()
+                                .ok_or_else(|| ProtoError("metric name must be a string".into()))?;
+                            let val = a[1].as_f64().ok_or_else(|| {
+                                ProtoError("metric value must be a number".into())
+                            })?;
+                            Ok((name.to_string(), val))
+                        })
+                        .collect()
+                };
+                Ok(Response::Metrics {
+                    counters: pairs("counters")?
+                        .into_iter()
+                        .map(|(k, v)| (k, v as u64))
+                        .collect(),
+                    gauges: pairs("gauges")?
+                        .into_iter()
+                        .map(|(k, v)| (k, v as i64))
+                        .collect(),
+                })
+            }
+            "trace" => Ok(Response::Trace {
+                trace: QueryTrace::new(span_from_json(field(v, "root")?)?),
             }),
             "points" => {
                 let values = v
@@ -767,6 +943,15 @@ mod tests {
         roundtrip_req(Request::JobStatus { job: 17 });
         roundtrip_req(Request::ListMyDb);
         roundtrip_req(Request::GetMyDbTable { name: "t".into() });
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::GetTrace {
+            raw_field: "velocity".into(),
+            derived: DerivedField::CurlNorm,
+            timestep: 1,
+            query_box: Some(Box3::new([0, 0, 0], [15, 15, 15])),
+            threshold: 30.5,
+            use_cache: true,
+        });
     }
 
     #[test]
@@ -827,6 +1012,37 @@ mod tests {
         roundtrip_resp(Response::Error {
             message: "threshold too low: 2000000 locations".into(),
         });
+        roundtrip_resp(Response::Metrics {
+            counters: vec![
+                ("bufferpool.hits".into(), 42),
+                ("cache.semantic.hits".into(), 3),
+            ],
+            gauges: vec![("node.active_subqueries".into(), -1)],
+        });
+        // attr values are display strings on the wire, so a trace built
+        // with Str attrs roundtrips exactly
+        let mut root = TraceSpan::new("query.threshold", 0.0, 1.5)
+            .with_attr("points", "42")
+            .with_attr("wall_s", "0.03");
+        let mut io = TraceSpan::new("phase.io", 0.0, 1.25);
+        io.push_child(TraceSpan::new("node.0", 0.0, 1.1).with_attr("cache", "miss"));
+        root.push_child(io);
+        roundtrip_resp(Response::Trace {
+            trace: QueryTrace::new(root),
+        });
+    }
+
+    #[test]
+    fn trace_attrs_serialize_as_display_strings() {
+        let root = TraceSpan::new("query.threshold", 0.0, 1.0).with_attr("points", 7u64);
+        let r = Response::Trace {
+            trace: QueryTrace::new(root),
+        };
+        let back = Response::from_json(&Json::parse(&r.to_json().encode()).unwrap()).unwrap();
+        let Response::Trace { trace } = back else {
+            panic!()
+        };
+        assert_eq!(trace.root.attr("points"), Some(&AttrValue::Str("7".into())));
     }
 
     #[test]

@@ -383,5 +383,33 @@ pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
                 Err(e) => query_error(e),
             }
         }
+        Request::Metrics => {
+            let snap = service.metrics_snapshot();
+            Response::Metrics {
+                counters: snap.counters.into_iter().collect(),
+                gauges: snap.gauges.into_iter().collect(),
+            }
+        }
+        Request::GetTrace {
+            raw_field,
+            derived,
+            timestep,
+            query_box,
+            threshold,
+            use_cache,
+        } => {
+            let mut q = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, *threshold);
+            q.query_box = *query_box;
+            q.use_cache = *use_cache;
+            match service.get_threshold(&q) {
+                Ok(r) => match r.trace {
+                    Some(trace) => Response::Trace { trace },
+                    None => Response::Error {
+                        message: "query produced no trace".into(),
+                    },
+                },
+                Err(e) => query_error(e),
+            }
+        }
     }
 }

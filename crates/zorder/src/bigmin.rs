@@ -148,6 +148,8 @@ impl Iterator for ZScanCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::morton::MAX_COORD3;
+    use crate::range::{decompose_box, ZRange};
     use proptest::prelude::*;
 
     fn brute_bigmin(code: u64, b: &Box3, limit: u64) -> Option<u64> {
@@ -246,5 +248,119 @@ mod tests {
                 prop_assert!(in_box(next, &b));
             }
         }
+    }
+
+    // ---- pinning BIGMIN / LITMAX against decompose_box ---------------------
+    //
+    // decompose_box produces the exact, minimal, sorted set of in-box code
+    // ranges, so "the next in-box code after `code`" is answerable from the
+    // ranges alone — an independent oracle that, unlike brute force, stays
+    // cheap at the full 21-bit coordinate limit (codes up to bit 62).
+
+    /// Smallest in-range code strictly greater than `code`.
+    fn next_in_ranges(code: u64, ranges: &[ZRange]) -> Option<u64> {
+        ranges.iter().find(|r| r.end > code).map(
+            |r| {
+                if r.start > code {
+                    r.start
+                } else {
+                    code + 1
+                }
+            },
+        )
+    }
+
+    /// Largest in-range code strictly less than `code`.
+    fn prev_in_ranges(code: u64, ranges: &[ZRange]) -> Option<u64> {
+        ranges.iter().rev().find(|r| r.start < code).map(|r| {
+            if r.end < code {
+                r.end
+            } else {
+                code - 1
+            }
+        })
+    }
+
+    /// Coordinates hugging either end of the 21-bit-per-axis range, so
+    /// codes exercise the bit-62 edge of the scan loops.
+    fn edge_coord() -> impl Strategy<Value = u32> {
+        prop_oneof![0u32..512, (MAX_COORD3 - 511)..=MAX_COORD3]
+    }
+
+    /// Extents biased towards the 1-wide degenerate case.
+    fn extent() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), 1u32..24]
+    }
+
+    fn edge_box(lo: [u32; 3], ext: [u32; 3]) -> Box3 {
+        Box3::new(
+            lo,
+            [
+                (lo[0] + ext[0] - 1).min(MAX_COORD3),
+                (lo[1] + ext[1] - 1).min(MAX_COORD3),
+                (lo[2] + ext[2] - 1).min(MAX_COORD3),
+            ],
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn bigmin_and_litmax_agree_with_decompose_box_at_the_coordinate_limit(
+            lo in prop::array::uniform3(edge_coord()),
+            ext in prop::array::uniform3(extent()),
+            probe in prop::array::uniform3(edge_coord()),
+            delta in -2i64..=2,
+        ) {
+            let b = edge_box(lo, ext);
+            let ranges = decompose_box(&b, 21);
+            let code = encode3(probe[0], probe[1], probe[2]).saturating_add_signed(delta);
+            prop_assert_eq!(
+                bigmin(code, &b), next_in_ranges(code, &ranges),
+                "bigmin: box {:?} code {}", b, code
+            );
+            prop_assert_eq!(
+                litmax(code, &b), prev_in_ranges(code, &ranges),
+                "litmax: box {:?} code {}", b, code
+            );
+        }
+
+        #[test]
+        fn bigmin_and_litmax_at_and_beyond_the_box_extremes(
+            lo in prop::array::uniform3(edge_coord()),
+            ext in prop::array::uniform3(extent()),
+        ) {
+            let b = edge_box(lo, ext);
+            let ranges = decompose_box(&b, 21);
+            let zmin = encode3(b.lo[0], b.lo[1], b.lo[2]);
+            let zmax = encode3(b.hi[0], b.hi[1], b.hi[2]);
+            // nothing greater than zmax re-enters the box
+            prop_assert_eq!(bigmin(zmax, &b), None);
+            prop_assert_eq!(bigmin(zmax.saturating_add(1), &b), None);
+            // descending from above the box lands exactly on zmax
+            prop_assert_eq!(litmax(zmax + 1, &b), Some(zmax));
+            prop_assert_eq!(litmax(zmin, &b), None);
+            // stepping inward from the extreme codes matches the ranges
+            prop_assert_eq!(bigmin(zmin, &b), next_in_ranges(zmin, &ranges));
+            prop_assert_eq!(litmax(zmax, &b), prev_in_ranges(zmax, &ranges));
+        }
+    }
+
+    #[test]
+    fn bigmin_handles_the_top_of_the_curve() {
+        // octree-aligned 2³ cube at the very top corner: its 8 codes are
+        // the last 8 on the curve, ending at 2^63 - 1 (bit 62 set)
+        let m = MAX_COORD3;
+        let b = Box3::new([m - 1, m - 1, m - 1], [m, m, m]);
+        let zmin = encode3(m - 1, m - 1, m - 1);
+        let zmax = encode3(m, m, m);
+        assert_eq!(zmax, (1u64 << 63) - 1);
+        assert_eq!(zmax, zmin + 7);
+        assert_eq!(bigmin(0, &b), Some(zmin));
+        assert_eq!(bigmin(zmin, &b), Some(zmin + 1));
+        assert_eq!(bigmin(zmax - 1, &b), Some(zmax));
+        assert_eq!(bigmin(zmax, &b), None);
+        assert_eq!(litmax(zmax, &b), Some(zmax - 1));
+        assert_eq!(litmax(u64::MAX, &b), Some(zmax));
     }
 }
