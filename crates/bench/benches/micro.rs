@@ -131,6 +131,7 @@ fn wire_json(c: &mut Criterion) {
         breakdown: Default::default(),
         cache_hits: 4,
         nodes: 4,
+        degraded: None,
     };
     let encoded = resp.to_json().encode();
     let mut g = c.benchmark_group("wire_json");

@@ -15,7 +15,9 @@ static CLEAN_STALE: Once = Once::new();
 
 /// Best-effort removal of `thresholdb_*` scratch dirs left behind by
 /// crashed or killed runs. Only dirs untouched for a day are removed, so
-/// concurrent test processes never race each other.
+/// concurrent test processes never race each other on live dirs; when two
+/// sweeps race on the *same* stale dir, whoever loses sees `NotFound`
+/// part-way through its `remove_dir_all` — that is success, not failure.
 fn clean_stale_scratch() {
     let cutoff = Duration::from_secs(24 * 60 * 60);
     let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
@@ -29,6 +31,7 @@ fn clean_stale_scratch() {
         {
             continue;
         }
+        // the entry may vanish between readdir and stat: treat as cleaned
         let stale = entry
             .metadata()
             .and_then(|m| m.modified())
@@ -36,7 +39,14 @@ fn clean_stale_scratch() {
             .and_then(|t| t.elapsed().ok())
             .is_some_and(|age| age > cutoff);
         if stale {
-            let _ = std::fs::remove_dir_all(entry.path());
+            match std::fs::remove_dir_all(entry.path()) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!(
+                    "warning: could not sweep stale scratch dir {}: {e}",
+                    entry.path().display()
+                ),
+            }
         }
     }
 }

@@ -1,9 +1,18 @@
 //! Algorithm 1: `GetThreshold` against the cache tables.
+//!
+//! The cache is *self-healing*: every entry stores a checksum over its
+//! data rows, validated whenever the entry is about to answer a query. A
+//! mismatch (SSD bit-rot, injected corruption) quarantines the entry —
+//! it is dropped, the lookup reports [`CacheLookup::Quarantined`], and
+//! the caller recomputes from raw data and re-inserts, rebuilding the
+//! entry byte-identically to a fault-free evaluation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use tdb_storage::device::{DeviceId, IoSession};
+use tdb_storage::faults::FaultPlan;
 use tdb_storage::mvcc::{CommitError, MvccStore};
 use tdb_zorder::{decode3, encode3, Box3};
 
@@ -28,6 +37,9 @@ pub struct CacheInfoRow {
     pub threshold: f64,
     pub npoints: u64,
     pub last_used: u64,
+    /// Checksum over the entry's `cacheData` rows in zindex order,
+    /// validated before the entry answers a query.
+    pub checksum: u64,
 }
 
 /// One cached above-threshold grid point: Morton code of the location and
@@ -66,6 +78,8 @@ pub struct CacheConfig {
     pub budget_bytes: u64,
     /// Device charged for cache-table I/O.
     pub ssd: DeviceId,
+    /// Fault-injection plan consulted on inserts (silent SSD corruption).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// Result of a cache lookup.
@@ -75,6 +89,10 @@ pub enum CacheLookup {
     Hit(Vec<ThresholdPoint>),
     /// No usable entry: evaluate from raw data and [`SemanticCache::insert`].
     Miss,
+    /// A covering entry existed but failed checksum validation and was
+    /// dropped. The caller must recompute from raw data and re-insert,
+    /// which rebuilds (heals) the entry.
+    Quarantined,
 }
 
 /// One node's application-aware semantic cache.
@@ -136,6 +154,18 @@ impl SemanticCache {
             1 + rows.len() as u64 * DATA_ROW_BYTES / (64 * 1024),
             rows.len() as u64 * DATA_ROW_BYTES,
         );
+        // validate the full entry before answering from it: a checksum or
+        // row-count mismatch means the stored rows rotted — quarantine the
+        // entry and make the caller recompute it from raw data
+        let stored = rows_checksum(rows.iter().map(|((_, z), v)| (*z, *v)));
+        if rows.len() as u64 != row.npoints || stored != row.checksum {
+            drop(data_txn);
+            drop(txn);
+            self.invalidate(key);
+            self.stats.lock().quarantined += 1;
+            tdb_obs::add("cache.semantic.quarantined", 1);
+            return CacheLookup::Quarantined;
+        }
         let mut points: Vec<ThresholdPoint> = rows
             .into_iter()
             .filter_map(|((_, zindex), value)| {
@@ -244,6 +274,11 @@ impl SemanticCache {
         }
 
         let ordinal = self.next_ordinal.fetch_add(1, Ordering::Relaxed);
+        // checksum over the rows in zindex order — the order a lookup
+        // reads them back in
+        let mut sorted: Vec<(u64, f32)> = points.iter().map(|p| (p.zindex, p.value)).collect();
+        sorted.sort_unstable_by_key(|&(z, _)| z);
+        let checksum = rows_checksum(sorted.iter().copied());
         info_txn.put(
             key.clone(),
             CacheInfoRow {
@@ -252,10 +287,20 @@ impl SemanticCache {
                 threshold,
                 npoints: points.len() as u64,
                 last_used: self.tick(),
+                checksum,
             },
         );
         for p in points {
             data_txn.put((ordinal, p.zindex), p.value);
+        }
+        // injected silent corruption: flip one stored value's bits while
+        // leaving the checksum stale, so the next lookup quarantines
+        if let Some(plan) = &self.config.faults {
+            if plan.cache_insert_corrupts(key_hash(key)) {
+                if let Some(&(z, v)) = sorted.first() {
+                    data_txn.put((ordinal, z), f32::from_bits(v.to_bits() ^ 0x5A5A_5A5A));
+                }
+            }
         }
         // one sequential SSD write of the new entry
         session.charge(self.config.ssd, 1 + new_bytes / (64 * 1024), new_bytes);
@@ -264,6 +309,24 @@ impl SemanticCache {
         self.stats.lock().evictions += evictions;
         tdb_obs::add("cache.semantic.evictions", evictions);
         Ok(())
+    }
+
+    /// Chaos hook: flips the bits of one stored data row of `key`'s entry
+    /// without touching its checksum, simulating silent SSD bit-rot.
+    /// Returns `false` when the key has no entry with data rows to
+    /// corrupt. The next covering lookup will quarantine the entry.
+    pub fn corrupt_entry(&self, key: &CacheInfoKey) -> bool {
+        let info_txn = self.info.begin();
+        let Some(row) = info_txn.get(key) else {
+            return false;
+        };
+        let mut data_txn = self.data.begin();
+        let rows = data_txn.range((row.ordinal, 0)..=(row.ordinal, u64::MAX));
+        let Some(((o, z), v)) = rows.into_iter().next() else {
+            return false;
+        };
+        data_txn.put((o, z), f32::from_bits(v.to_bits() ^ 0x5A5A_5A5A));
+        data_txn.commit().is_ok()
     }
 
     /// Drops the entry for one key (used by experiments to force misses).
@@ -318,6 +381,34 @@ fn entry_bytes(npoints: u64) -> u64 {
     INFO_ROW_BYTES + npoints * DATA_ROW_BYTES
 }
 
+/// Checksum over `(zindex, value)` rows in iteration order (zindex order).
+fn rows_checksum(rows: impl Iterator<Item = (u64, f32)>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (z, v) in rows {
+        h = mix64(h ^ z);
+        h = mix64(h ^ u64::from(v.to_bits()));
+    }
+    h
+}
+
+/// Deterministic hash of a cache key, the identity fault plans roll on.
+fn key_hash(key: &CacheInfoKey) -> u64 {
+    let mut h = mix64(u64::from(key.timestep));
+    for b in key.dataset.bytes().chain(key.field.bytes()) {
+        h = mix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// SplitMix64 finaliser (same permutation the fault plan rolls with).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +421,7 @@ mod tests {
             SemanticCache::new(CacheConfig {
                 budget_bytes: budget,
                 ssd,
+                faults: None,
             }),
             reg,
         )
@@ -364,7 +456,7 @@ mod tests {
         cache.insert(&k, region, 50.0, &points, &mut s);
         match cache.lookup(&k, &region, 50.0, &mut s) {
             CacheLookup::Hit(got) => assert_eq!(got.len(), 2),
-            CacheLookup::Miss => panic!("expected hit"),
+            other => panic!("expected hit, got {other:?}"),
         }
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.inserts), (1, 1, 1));
@@ -385,7 +477,7 @@ mod tests {
                 assert_eq!(got.len(), 2);
                 assert!(got.iter().all(|p| f64::from(p.value) >= 69.0));
             }
-            CacheLookup::Miss => panic!("expected hit"),
+            other => panic!("expected hit, got {other:?}"),
         }
         // lower threshold than stored: the cache cannot answer
         assert!(matches!(
@@ -410,7 +502,7 @@ mod tests {
                 assert_eq!(got.len(), 1);
                 assert_eq!(got[0].coords(), (5, 5, 5));
             }
-            CacheLookup::Miss => panic!("expected hit"),
+            other => panic!("expected hit, got {other:?}"),
         }
         let superbox = Box3::new([0, 0, 0], [63, 63, 63]);
         assert!(matches!(
@@ -448,7 +540,7 @@ mod tests {
         );
         match cache.lookup(&k, &region, 40.0, &mut s) {
             CacheLookup::Hit(got) => assert_eq!(got.len(), 2),
-            CacheLookup::Miss => panic!("expected hit after replacement"),
+            other => panic!("expected hit after replacement, got {other:?}"),
         }
         assert_eq!(cache.len(), 1, "old entry replaced, not duplicated");
     }
@@ -527,6 +619,61 @@ mod tests {
         // modelled time for the hit is far below a cold HDD scan of 1 GB
         let t = hit_session.makespan(&reg);
         assert!(t < 0.05, "cache hit should be milliseconds, got {t}");
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_then_healed() {
+        let (cache, _) = mkcache(1 << 20);
+        let mut s = IoSession::new();
+        let region = Box3::cube(16);
+        let k = key(7);
+        let points = pts(&[(1, 1, 1, 60.0), (2, 2, 2, 70.0)]);
+        cache.insert(&k, region, 50.0, &points, &mut s);
+        assert!(cache.corrupt_entry(&k));
+        assert!(matches!(
+            cache.lookup(&k, &region, 50.0, &mut s),
+            CacheLookup::Quarantined
+        ));
+        assert_eq!(cache.stats().quarantined, 1);
+        // the rotten entry is gone: the next lookup is a plain miss
+        assert!(matches!(
+            cache.lookup(&k, &region, 50.0, &mut s),
+            CacheLookup::Miss
+        ));
+        // recompute-and-reinsert heals; the healed entry answers exactly
+        cache.insert(&k, region, 50.0, &points, &mut s);
+        match cache.lookup(&k, &region, 50.0, &mut s) {
+            CacheLookup::Hit(got) => {
+                let mut want = points.clone();
+                want.sort_unstable_by_key(|p| p.zindex);
+                assert_eq!(got, want);
+            }
+            other => panic!("expected healed hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_insert_corruption_is_detected_on_lookup() {
+        use tdb_storage::faults::FaultRule;
+        let mut reg = DeviceRegistry::new();
+        let ssd = reg.register(DeviceProfile::ssd());
+        let plan = FaultPlan::new(0)
+            .with_rule(FaultRule::corrupt_cache_inserts(1.0))
+            .shared();
+        let cache = SemanticCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            ssd,
+            faults: Some(Arc::clone(&plan)),
+        });
+        let mut s = IoSession::new();
+        let region = Box3::cube(16);
+        let k = key(9);
+        cache.insert(&k, region, 50.0, &pts(&[(3, 3, 3, 66.0)]), &mut s);
+        assert!(plan.counts().corrupt >= 1, "insert fault must have fired");
+        assert!(matches!(
+            cache.lookup(&k, &region, 50.0, &mut s),
+            CacheLookup::Quarantined
+        ));
     }
 
     #[test]

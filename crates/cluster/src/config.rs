@@ -1,6 +1,9 @@
 //! Cluster configuration.
 
+use std::sync::Arc;
+
 use tdb_kernels::FdOrder;
+use tdb_storage::FaultPlan;
 
 /// Shape and sizing of the simulated analysis cluster.
 #[derive(Debug, Clone)]
@@ -26,6 +29,10 @@ pub struct ClusterConfig {
     /// harness sets ~8 to stand in for the 2.66 GHz Harpertown nodes
     /// (see EXPERIMENTS.md). Default 1.0 = report measured CPU time.
     pub compute_scale: f64,
+    /// Deterministic fault-injection plan threaded through every node's
+    /// buffer pool, semantic cache and query evaluator. `None` (default)
+    /// disables injection entirely.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClusterConfig {
@@ -39,6 +46,7 @@ impl Default for ClusterConfig {
             chunk_atoms: 4,
             fd_order: FdOrder::O4,
             compute_scale: 1.0,
+            faults: None,
         }
     }
 }

@@ -25,7 +25,9 @@ pub mod timing;
 pub mod wire;
 
 pub use config::ClusterConfig;
-pub use mediator::{Cluster, ClusterBuilder, PdfResponse, ThresholdResponse, TopKResponse};
+pub use mediator::{
+    Cluster, ClusterBuilder, DegradedInfo, FailedNode, PdfResponse, ThresholdResponse, TopKResponse,
+};
 pub use node::{QueryMode, ThresholdSubquery};
 pub use placement::{Chunk, Layout};
 pub use timing::TimeBreakdown;

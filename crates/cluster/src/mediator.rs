@@ -15,7 +15,9 @@ use tdb_field::{Grid3, Histogram, VectorField};
 use tdb_kernels::{DerivedField, DiffScheme};
 use tdb_obs::{QueryTrace, TraceSpan};
 use tdb_storage::device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
-use tdb_storage::{AtomKey, AtomRecord, BlockCache, StorageResult, TableBuilder};
+use tdb_storage::{
+    AtomKey, AtomRecord, BlockCache, FaultPlan, StorageError, StorageResult, TableBuilder,
+};
 use tdb_zorder::{AtomCoord, Box3, ZRange};
 
 use crate::config::ClusterConfig;
@@ -36,6 +38,29 @@ pub struct ThresholdRequest {
     pub mode: QueryMode,
     /// Worker processes per node; defaults to the cluster configuration.
     pub procs_override: Option<usize>,
+    /// Fail-fast mode: any node failure or deadline violation fails the
+    /// whole query instead of degrading it.
+    pub strict: bool,
+    /// Per-node modelled-time deadline, seconds. A node whose modelled
+    /// time (cache lookup + I/O + compute) exceeds it is treated as
+    /// failed: dropped with degradation, or fatal under [`Self::strict`].
+    pub node_deadline_s: Option<f64>,
+}
+
+/// One node that could not contribute to a degraded answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedNode {
+    pub node: usize,
+    pub reason: String,
+}
+
+/// What a degraded (partial) answer is missing: which nodes failed and
+/// exactly which sub-boxes of the query box their absence leaves
+/// unanswered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedInfo {
+    pub failed_nodes: Vec<FailedNode>,
+    pub missing_boxes: Vec<Box3>,
 }
 
 /// Assembled answer of a threshold query.
@@ -50,6 +75,8 @@ pub struct ThresholdResponse {
     pub wall_s: f64,
     /// Span tree of the query's phases and per-node work.
     pub trace: Option<QueryTrace>,
+    /// `Some` when one or more nodes failed and the answer is partial.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Assembled answer of a PDF query.
@@ -59,6 +86,8 @@ pub struct PdfResponse {
     pub breakdown: TimeBreakdown,
     pub wall_s: f64,
     pub trace: Option<QueryTrace>,
+    /// `Some` when one or more nodes failed and the answer is partial.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Assembled answer of a top-k query.
@@ -68,6 +97,8 @@ pub struct TopKResponse {
     pub breakdown: TimeBreakdown,
     pub wall_s: f64,
     pub trace: Option<QueryTrace>,
+    /// `Some` when one or more nodes failed and the answer is partial.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Builds a cluster: devices, placement, and bulk-loaded tables.
@@ -125,7 +156,10 @@ impl ClusterBuilder {
                 );
             }
             builders.push(per_field);
-            pools.push(Arc::new(BlockCache::new(config.bufferpool_bytes)));
+            pools.push(Arc::new(BlockCache::with_faults(
+                config.bufferpool_bytes,
+                config.faults.clone(),
+            )));
         }
         Ok(Self {
             config,
@@ -196,6 +230,7 @@ impl ClusterBuilder {
                 Arc::clone(&scheme),
                 Arc::clone(&registry),
                 self.lan,
+                self.config.faults.clone(),
             )));
         }
         Ok(Cluster {
@@ -278,6 +313,11 @@ impl Cluster {
         &self.nodes
     }
 
+    /// The fault plan the cluster was configured with, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.faults.as_ref()
+    }
+
     fn subquery(&self, req: &ThresholdRequest) -> ThresholdSubquery {
         ThresholdSubquery {
             dataset: self.dataset.clone(),
@@ -290,6 +330,87 @@ impl Cluster {
             mode: req.mode,
             procs: req.procs_override.unwrap_or(self.config.procs_per_node),
         }
+    }
+
+    /// Applies the degradation policy to per-node outcomes (indexed by
+    /// node id). A dead node — or one whose modelled time blew the
+    /// deadline — is dropped and recorded in [`DegradedInfo`] together
+    /// with exactly the sub-boxes of the query its absence leaves
+    /// unanswered; under `strict` the same conditions fail the whole
+    /// query. Any other node error always propagates: partial data is
+    /// only acceptable for *unavailability*, never for corruption.
+    fn degrade_filter<T>(
+        &self,
+        outcomes: Vec<StorageResult<T>>,
+        node_time: impl Fn(&T) -> f64,
+        query_box: &Box3,
+        strict: bool,
+        deadline_s: Option<f64>,
+    ) -> StorageResult<(Vec<T>, Vec<usize>, Option<DegradedInfo>)> {
+        let mut ok = Vec::new();
+        let mut ids = Vec::new();
+        let mut failed: Vec<FailedNode> = Vec::new();
+        for (i, r) in outcomes.into_iter().enumerate() {
+            match r {
+                Ok(t) => {
+                    let modelled = node_time(&t);
+                    if let Some(d) = deadline_s {
+                        if modelled > d {
+                            tdb_obs::add("node.deadline_exceeded", 1);
+                            if strict {
+                                return Err(StorageError::NodeUnavailable {
+                                    node: i,
+                                    detail: format!(
+                                        "modelled node time {modelled:.3}s exceeds deadline {d:.3}s"
+                                    ),
+                                });
+                            }
+                            failed.push(FailedNode {
+                                node: i,
+                                reason: format!(
+                                    "deadline exceeded: modelled {modelled:.3}s > {d:.3}s"
+                                ),
+                            });
+                            continue;
+                        }
+                    }
+                    ok.push(t);
+                    ids.push(i);
+                }
+                Err(e) if e.is_unavailable() && !strict => {
+                    failed.push(FailedNode {
+                        node: i,
+                        reason: e.to_string(),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let degraded = if failed.is_empty() {
+            None
+        } else {
+            let missing_boxes = self.missing_boxes(&failed, query_box);
+            tdb_obs::add("query.degraded", 1);
+            Some(DegradedInfo {
+                failed_nodes: failed,
+                missing_boxes,
+            })
+        };
+        Ok((ok, ids, degraded))
+    }
+
+    /// The sub-boxes of `query_box` owned by the failed nodes — exactly
+    /// the regions a degraded answer is missing.
+    fn missing_boxes(&self, failed: &[FailedNode], query_box: &Box3) -> Vec<Box3> {
+        let mut out = Vec::new();
+        for f in failed {
+            for c in self.layout.chunks_of_node(f.node) {
+                if let Some(b) = c.grid_box().intersect(query_box) {
+                    out.push(b);
+                }
+            }
+        }
+        out
     }
 
     /// The cluster-wide I/O phase: nodes run in parallel, so the phase is
@@ -322,19 +443,35 @@ impl Cluster {
     /// consistent with the reported [`TimeBreakdown`]); per-node child
     /// spans under `phase.io` carry the measured detail — cache outcome,
     /// atoms scanned, buffer-pool hits/misses, bytes charged per device.
+    #[allow(clippy::too_many_arguments)]
     fn build_trace(
         &self,
         kind: &str,
         results: &[&NodeResult],
+        node_ids: &[usize],
         node_points: &[u64],
         breakdown: &TimeBreakdown,
         points_returned: u64,
         wall_s: f64,
+        degraded: Option<&DegradedInfo>,
     ) -> QueryTrace {
         let mut root = TraceSpan::new(format!("query.{kind}"), 0.0, breakdown.total_s())
             .with_attr("points", points_returned)
             .with_attr("nodes", results.len() as u64)
             .with_attr("wall_s", wall_s);
+        if let Some(d) = degraded {
+            root.set_attr("degraded", "true");
+            let mut span = TraceSpan::new("phase.degraded", 0.0, 0.0)
+                .with_attr("failed_nodes", d.failed_nodes.len() as u64)
+                .with_attr("missing_boxes", d.missing_boxes.len() as u64);
+            for f in &d.failed_nodes {
+                span.push_child(
+                    TraceSpan::new(format!("failed.node.{}", f.node), 0.0, 0.0)
+                        .with_attr("reason", f.reason.as_str()),
+                );
+            }
+            root.push_child(span);
+        }
         let mut t = 0.0;
         root.push_child(TraceSpan::new(
             "phase.cache_lookup",
@@ -344,7 +481,8 @@ impl Cluster {
         t += breakdown.cache_lookup_s;
         let mut io = TraceSpan::new("phase.io", t, breakdown.io_s);
         for (i, r) in results.iter().enumerate() {
-            let mut node = TraceSpan::new(format!("node.{i}"), t, r.io_s)
+            let id = node_ids.get(i).copied().unwrap_or(i);
+            let mut node = TraceSpan::new(format!("node.{id}"), t, r.io_s)
                 .with_attr("cache", if r.cache_hit { "hit" } else { "miss" })
                 .with_attr("atoms_scanned", r.atoms_scanned)
                 .with_attr("points", node_points.get(i).copied().unwrap_or(0))
@@ -386,10 +524,12 @@ impl Cluster {
     }
 
     /// Evaluates a threshold query: scatter to nodes, gather, assemble.
+    /// Node outages (and deadline violations) degrade the answer instead
+    /// of failing it unless [`ThresholdRequest::strict`] is set.
     pub fn get_threshold(&self, req: &ThresholdRequest) -> StorageResult<ThresholdResponse> {
         let wall = std::time::Instant::now();
         let sub = self.subquery(req);
-        let results: Vec<NodeResult> = std::thread::scope(|scope| {
+        let outcomes: Vec<StorageResult<NodeResult>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
@@ -402,9 +542,15 @@ impl Cluster {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("node thread"))
-                .collect::<StorageResult<Vec<_>>>()
-        })?;
-        let mut results = results;
+                .collect()
+        });
+        let (mut results, node_ids, degraded) = self.degrade_filter(
+            outcomes,
+            |r: &NodeResult| r.cache_lookup_s + r.io_s + r.compute_s,
+            &req.query_box,
+            req.strict,
+            req.node_deadline_s,
+        )?;
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         let mut cache_hits = 0;
@@ -429,7 +575,16 @@ impl Cluster {
             .time(2, wire::xml_result_bytes(n));
         let wall_s = wall.elapsed().as_secs_f64();
         let refs: Vec<&NodeResult> = results.iter().collect();
-        let trace = self.build_trace("threshold", &refs, &node_points, &breakdown, n, wall_s);
+        let trace = self.build_trace(
+            "threshold",
+            &refs,
+            &node_ids,
+            &node_points,
+            &breakdown,
+            n,
+            wall_s,
+            degraded.as_ref(),
+        );
         tdb_obs::add("query.threshold.count", 1);
         tdb_obs::add("query.points_returned", n);
         tdb_obs::observe("query.threshold.wall_s", wall_s);
@@ -440,6 +595,7 @@ impl Cluster {
             nodes: self.nodes.len(),
             wall_s,
             trace: Some(trace),
+            degraded,
         })
     }
 
@@ -453,7 +609,7 @@ impl Cluster {
     ) -> StorageResult<PdfResponse> {
         let wall = std::time::Instant::now();
         let sub = self.subquery(req);
-        let results: Vec<(Histogram, NodeResult)> = std::thread::scope(|scope| {
+        let outcomes: Vec<StorageResult<(Histogram, NodeResult)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
@@ -466,8 +622,15 @@ impl Cluster {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("node thread"))
-                .collect::<StorageResult<Vec<_>>>()
-        })?;
+                .collect()
+        });
+        let (results, node_ids, degraded) = self.degrade_filter(
+            outcomes,
+            |(_, r): &(Histogram, NodeResult)| r.cache_lookup_s + r.io_s + r.compute_s,
+            &req.query_box,
+            req.strict,
+            req.node_deadline_s,
+        )?;
         let mut hist = Histogram::new(origin, width, nbins);
         let mut breakdown = TimeBreakdown::default();
         for (h, r) in &results {
@@ -486,7 +649,16 @@ impl Cluster {
             .time(2, (nbins as u64 + 1) * 64);
         let wall_s = wall.elapsed().as_secs_f64();
         let node_points = vec![0u64; node_results.len()];
-        let trace = self.build_trace("pdf", &node_results, &node_points, &breakdown, 0, wall_s);
+        let trace = self.build_trace(
+            "pdf",
+            &node_results,
+            &node_ids,
+            &node_points,
+            &breakdown,
+            0,
+            wall_s,
+            degraded.as_ref(),
+        );
         tdb_obs::add("query.pdf.count", 1);
         tdb_obs::observe("query.pdf.wall_s", wall_s);
         Ok(PdfResponse {
@@ -494,6 +666,7 @@ impl Cluster {
             breakdown,
             wall_s,
             trace: Some(trace),
+            degraded,
         })
     }
 
@@ -502,22 +675,29 @@ impl Cluster {
     pub fn get_topk(&self, req: &ThresholdRequest, k: usize) -> StorageResult<TopKResponse> {
         let wall = std::time::Instant::now();
         let sub = self.subquery(req);
-        let results: Vec<(Vec<ThresholdPoint>, NodeResult)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
-                .iter()
-                .map(|node| {
-                    let sub = sub.clone();
-                    let nodes = &self.nodes;
-                    scope.spawn(move || node.evaluate_topk(nodes, &sub, k))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("node thread"))
-                .collect::<StorageResult<Vec<_>>>()
-        })?;
-        let mut results = results;
+        let outcomes: Vec<StorageResult<(Vec<ThresholdPoint>, NodeResult)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        let sub = sub.clone();
+                        let nodes = &self.nodes;
+                        scope.spawn(move || node.evaluate_topk(nodes, &sub, k))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node thread"))
+                    .collect()
+            });
+        let (mut results, node_ids, degraded) = self.degrade_filter(
+            outcomes,
+            |(_, r): &(Vec<ThresholdPoint>, NodeResult)| r.cache_lookup_s + r.io_s + r.compute_s,
+            &req.query_box,
+            req.strict,
+            req.node_deadline_s,
+        )?;
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         {
@@ -544,7 +724,16 @@ impl Cluster {
             .time(2, wire::xml_result_bytes(n));
         let wall_s = wall.elapsed().as_secs_f64();
         let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
-        let trace = self.build_trace("topk", &node_results, &node_points, &breakdown, n, wall_s);
+        let trace = self.build_trace(
+            "topk",
+            &node_results,
+            &node_ids,
+            &node_points,
+            &breakdown,
+            n,
+            wall_s,
+            degraded.as_ref(),
+        );
         tdb_obs::add("query.topk.count", 1);
         tdb_obs::add("query.points_returned", n);
         tdb_obs::observe("query.topk.wall_s", wall_s);
@@ -553,6 +742,7 @@ impl Cluster {
             breakdown,
             wall_s,
             trace: Some(trace),
+            degraded,
         })
     }
 
@@ -701,6 +891,27 @@ impl Cluster {
         }
     }
 
+    /// Flips bits in the stored rows of one cached threshold entry on
+    /// every node that holds it, leaving its checksum stale (chaos
+    /// testing: the next lookup must quarantine and self-heal the entry).
+    /// Returns how many node-local entries were corrupted.
+    pub fn corrupt_cache_entry(
+        &self,
+        raw_field: &str,
+        derived: DerivedField,
+        timestep: u32,
+    ) -> usize {
+        let key = tdb_cache::CacheInfoKey {
+            dataset: self.dataset.clone(),
+            field: format!("{raw_field}/{}", derived.name()),
+            timestep,
+        };
+        self.nodes
+            .iter()
+            .filter(|n| n.cache.corrupt_entry(&key))
+            .count()
+    }
+
     /// Clears every node's buffer pool (cold-I/O experiments).
     pub fn clear_buffer_pools(&self) {
         for n in &self.nodes {
@@ -718,6 +929,7 @@ impl Cluster {
                 total.inserts += s.inserts;
                 total.evictions += s.evictions;
                 total.conflicts += s.conflicts;
+                total.quarantined += s.quarantined;
             }
         }
         total

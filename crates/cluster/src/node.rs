@@ -18,7 +18,7 @@ use tdb_cache::{
 use tdb_field::{Grid3, ScalarField};
 use tdb_kernels::{DerivedField, DiffScheme};
 use tdb_storage::device::{DeviceId, DeviceRegistry, IoSession};
-use tdb_storage::{AtomKey, AtomRecord, BlockCache, StorageResult, Table};
+use tdb_storage::{AtomKey, AtomRecord, BlockCache, FaultPlan, StorageError, StorageResult, Table};
 use tdb_zorder::{encode3, Box3};
 
 use crate::assemble::{assemble_padded, needed_atoms};
@@ -115,6 +115,7 @@ pub struct NodeRuntime {
     lan: DeviceId,
     controller: DeviceId,
     compute_scale: f64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl NodeRuntime {
@@ -134,6 +135,7 @@ impl NodeRuntime {
         scheme: Arc<DiffScheme>,
         registry: Arc<DeviceRegistry>,
         lan: DeviceId,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         let chunks = layout.chunks_of_node(id);
         Self {
@@ -142,6 +144,7 @@ impl NodeRuntime {
             cache: SemanticCache::new(CacheConfig {
                 budget_bytes: cache_budget_bytes,
                 ssd,
+                faults: faults.clone(),
             }),
             // histograms are tiny; a small slice of the SSD suffices
             pdf_cache: PdfCache::new(ssd, (cache_budget_bytes / 64).max(1 << 20)),
@@ -154,7 +157,26 @@ impl NodeRuntime {
             lan,
             controller,
             compute_scale,
+            faults,
         }
+    }
+
+    /// Fails with [`StorageError::NodeUnavailable`] when the fault plan
+    /// has this node marked dead. Only the node's *query evaluator* is
+    /// gated: peers fetching halo atoms still reach its storage (the
+    /// failover model of DESIGN.md — data stays reachable, compute dies),
+    /// so one dead node degrades exactly its own boxes.
+    fn check_available(&self) -> StorageResult<()> {
+        if let Some(plan) = &self.faults {
+            if plan.node_is_down(self.id) {
+                tdb_obs::add("node.unavailable", 1);
+                return Err(StorageError::NodeUnavailable {
+                    node: self.id,
+                    detail: "injected node failure".into(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The node's buffer pool (exposed for cold-cache experiment setup).
@@ -206,11 +228,13 @@ impl NodeRuntime {
         peers: &[Arc<NodeRuntime>],
         q: &ThresholdSubquery,
     ) -> StorageResult<NodeResult> {
+        self.check_available()?;
         let _active = ActiveGuard::new();
         let wall = Instant::now();
         let mut session = IoSession::new();
         // --- cache probe -------------------------------------------------
         let mut cache_lookup_s = 0.0;
+        let mut healing = false;
         if q.use_cache {
             let probe = thread_cpu_time_s();
             let mut probe_session = IoSession::new();
@@ -223,19 +247,25 @@ impl NodeRuntime {
             cache_lookup_s =
                 (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
             session.merge(&probe_session);
-            if let CacheLookup::Hit(points) = outcome {
-                self.report_session(&session);
-                return Ok(NodeResult {
-                    points,
-                    cache_hit: true,
-                    cache_lookup_s,
-                    io_s: 0.0,
-                    io_serial_s: 0.0,
-                    compute_s: 0.0,
-                    wall_s: wall.elapsed().as_secs_f64(),
-                    atoms_scanned: 0,
-                    session,
-                });
+            match outcome {
+                CacheLookup::Hit(points) => {
+                    self.report_session(&session);
+                    return Ok(NodeResult {
+                        points,
+                        cache_hit: true,
+                        cache_lookup_s,
+                        io_s: 0.0,
+                        io_serial_s: 0.0,
+                        compute_s: 0.0,
+                        wall_s: wall.elapsed().as_secs_f64(),
+                        atoms_scanned: 0,
+                        session,
+                    });
+                }
+                // a quarantined entry falls through to the raw evaluation,
+                // whose insert below rebuilds (heals) it
+                CacheLookup::Quarantined => healing = true,
+                CacheLookup::Miss => {}
             }
         }
         // --- evaluate from raw data --------------------------------------
@@ -291,7 +321,10 @@ impl NodeRuntime {
         points.sort_unstable_by_key(|p| p.zindex);
         // --- serial-phase timing (DESIGN.md §4) -----------------------------
         let model = NodeTimeModel::from_costs(&costs, &self.registry);
-        let mut io_s = model.io_s(q.procs);
+        // injected latency and retry backoff stall the issuing worker, so
+        // they ride on the I/O phase serially
+        let mut io_s = model.io_s(q.procs) + session.injected_delay_s;
+        let io_serial_s = model.io_serial + session.injected_delay_s;
         let compute_phase = model.compute_s(q.procs);
         // --- cache update --------------------------------------------------
         if q.use_cache && q.mode == QueryMode::Full {
@@ -305,6 +338,9 @@ impl NodeRuntime {
             );
             io_s += insert_session.makespan(&self.registry);
             session.merge(&insert_session);
+            if healing {
+                tdb_obs::add("cache.semantic.rebuilt", 1);
+            }
         }
         self.report_session(&session);
         tdb_obs::add("node.atoms_scanned", atoms_scanned);
@@ -314,7 +350,7 @@ impl NodeRuntime {
             cache_hit: false,
             cache_lookup_s,
             io_s,
-            io_serial_s: model.io_serial,
+            io_serial_s,
             wall_s: wall.elapsed().as_secs_f64(),
             atoms_scanned,
             session,
@@ -342,6 +378,7 @@ impl NodeRuntime {
         width: f64,
         nbins: usize,
     ) -> StorageResult<(tdb_field::Histogram, NodeResult)> {
+        self.check_available()?;
         let wall = Instant::now();
         // --- PDF-cache probe (paper §4: the cache "can easily be extended
         // to cache the results of other query types") ---------------------
@@ -432,8 +469,8 @@ impl NodeRuntime {
             points: Vec::new(),
             cache_hit: false,
             cache_lookup_s: 0.0,
-            io_s: model.io_s(q.procs),
-            io_serial_s: model.io_serial,
+            io_s: model.io_s(q.procs) + session.injected_delay_s,
+            io_serial_s: model.io_serial + session.injected_delay_s,
             compute_s: model.compute_s(q.procs),
             wall_s: wall.elapsed().as_secs_f64(),
             atoms_scanned,

@@ -72,6 +72,8 @@ pub fn local_evaluation_estimate(
         use_cache: false,
         mode: QueryMode::Full,
         procs_override: None,
+        strict: false,
+        node_deadline_s: None,
     };
     let server = server_cost(cluster, &req);
     let npoints = query_box.num_points();

@@ -5,18 +5,27 @@ use tdb_cluster::{QueryMode, TimeBreakdown};
 use tdb_kernels::DerivedField;
 use tdb_zorder::Box3;
 
-/// Server-side result-size limits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Server-side result-size limits and failure policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryLimits {
     /// Maximum locations a threshold query may return ("currently this
     /// limit is set conservatively to 10⁶ locations", paper §4).
     pub max_points: u64,
+    /// Fail the whole query when any node is unavailable or over its
+    /// deadline instead of degrading to a partial answer.
+    pub strict: bool,
+    /// Per-node modelled-time deadline in seconds; a node whose modelled
+    /// evaluation time exceeds it is treated as failed (degraded or, in
+    /// strict mode, an error). `None` disables the deadline.
+    pub node_deadline_s: Option<f64>,
 }
 
 impl Default for QueryLimits {
     fn default() -> Self {
         Self {
             max_points: 1_000_000,
+            strict: false,
+            node_deadline_s: None,
         }
     }
 }
@@ -96,6 +105,9 @@ pub struct ThresholdResult {
     pub wall_s: f64,
     /// Span tree of the query's phases and per-node work.
     pub trace: Option<tdb_obs::QueryTrace>,
+    /// Present when one or more nodes failed and the answer is partial:
+    /// names the failed nodes and the grid boxes whose data is missing.
+    pub degraded: Option<tdb_cluster::DegradedInfo>,
 }
 
 #[cfg(test)]

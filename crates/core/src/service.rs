@@ -140,6 +140,8 @@ impl TurbulenceService {
             use_cache: q.use_cache,
             mode: q.mode,
             procs_override: q.procs_override,
+            strict: self.limits.strict,
+            node_deadline_s: self.limits.node_deadline_s,
         }
     }
 
@@ -159,6 +161,7 @@ impl TurbulenceService {
             nodes,
             wall_s,
             trace,
+            degraded,
         } = response;
         if points.len() as u64 > self.limits.max_points {
             tdb_obs::add("query.threshold.rejected", 1);
@@ -175,6 +178,7 @@ impl TurbulenceService {
             nodes,
             wall_s,
             trace,
+            degraded,
         })
     }
 

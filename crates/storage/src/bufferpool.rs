@@ -11,12 +11,14 @@
 //! footprint through [`PoolValue::weight`].
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::device::IoSession;
 use crate::error::StorageResult;
+use crate::faults::FaultPlan;
 
 /// Cache key: a block within a partition file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +53,7 @@ struct PoolInner<V> {
 /// serialises concurrent misses the way a single set of disks would.
 pub struct BufferPool<V: PoolValue = Bytes> {
     inner: Mutex<PoolInner<V>>,
+    faults: Option<Arc<FaultPlan>>,
     obs_hits: tdb_obs::Counter,
     obs_misses: tdb_obs::Counter,
     obs_evictions: tdb_obs::Counter,
@@ -59,6 +62,13 @@ pub struct BufferPool<V: PoolValue = Bytes> {
 impl<V: PoolValue> BufferPool<V> {
     /// Pool bounded at `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_faults(capacity_bytes, None)
+    }
+
+    /// Pool with an attached fault-injection plan consulted by loaders
+    /// (see [`crate::sstable::PartitionReader`]). Pool hits are never
+    /// faulted: a cached block needs no device access.
+    pub fn with_faults(capacity_bytes: usize, faults: Option<Arc<FaultPlan>>) -> Self {
         let reg = tdb_obs::global();
         Self {
             inner: Mutex::new(PoolInner {
@@ -68,10 +78,16 @@ impl<V: PoolValue> BufferPool<V> {
                 blocks: HashMap::new(),
                 lru: BTreeMap::new(),
             }),
+            faults,
             obs_hits: reg.counter("bufferpool.hits"),
             obs_misses: reg.counter("bufferpool.misses"),
             obs_evictions: reg.counter("bufferpool.evictions"),
         }
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Returns the cached block or loads it via `load`, charging the miss

@@ -142,6 +142,10 @@ pub struct IoSession {
     pub pool_hits: u64,
     /// Buffer-pool misses (device charged).
     pub pool_misses: u64,
+    /// Modelled seconds added by injected faults (latency faults and
+    /// retry backoff). Charged serially on top of the device schedule —
+    /// a stalled request blocks its issuing process.
+    pub injected_delay_s: f64,
 }
 
 impl IoSession {
@@ -166,6 +170,7 @@ impl IoSession {
         }
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.injected_delay_s += other.injected_delay_s;
     }
 
     /// All devices touched, with their accesses (unordered).
@@ -195,6 +200,7 @@ impl IoSession {
             .iter()
             .map(|(dev, a)| registry.profile(*dev).time(a.ops, a.bytes))
             .fold(0.0, f64::max)
+            + self.injected_delay_s
     }
 
     /// Modelled time if the devices were driven serially (lower bound on a
@@ -203,7 +209,8 @@ impl IoSession {
         self.accesses
             .iter()
             .map(|(dev, a)| registry.profile(*dev).time(a.ops, a.bytes))
-            .sum()
+            .sum::<f64>()
+            + self.injected_delay_s
     }
 }
 
@@ -278,5 +285,25 @@ mod tests {
     fn empty_session_has_zero_makespan() {
         let reg = DeviceRegistry::new();
         assert_eq!(IoSession::new().makespan(&reg), 0.0);
+    }
+
+    #[test]
+    fn injected_delay_is_serial_and_merges() {
+        let mut reg = DeviceRegistry::new();
+        let d = reg.register(DeviceProfile {
+            name: "d".into(),
+            latency_s: 0.0,
+            bandwidth_bps: 100.0,
+            pass_through: false,
+        });
+        let mut s = IoSession::new();
+        s.charge(d, 1, 100); // 1 s on the device
+        s.injected_delay_s = 0.5;
+        assert!((s.makespan(&reg) - 1.5).abs() < 1e-12);
+        assert!((s.serial_time(&reg) - 1.5).abs() < 1e-12);
+        let mut other = IoSession::new();
+        other.injected_delay_s = 0.25;
+        s.merge(&other);
+        assert!((s.injected_delay_s - 0.75).abs() < 1e-12);
     }
 }

@@ -1,12 +1,21 @@
 //! Storage-layer errors.
+//!
+//! Every error carries enough context to name the failing device or file,
+//! and classifies as *transient* (worth a bounded retry) or *permanent*
+//! (retrying cannot help) — the distinction the query path's retry and
+//! degradation policies are built on.
 
 use std::fmt;
 
 /// Errors surfaced by the storage engine.
 #[derive(Debug)]
 pub enum StorageError {
-    /// Underlying file-system failure.
-    Io(std::io::Error),
+    /// Underlying file-system failure. `file` names the partition file
+    /// when known (empty when the error arose outside any file context).
+    Io {
+        file: String,
+        source: std::io::Error,
+    },
     /// A block or footer failed validation.
     Corrupt { file: String, detail: String },
     /// Bulk-load input violated the sorted-unique-key contract.
@@ -15,12 +24,59 @@ pub enum StorageError {
     SchemaMismatch { expected_ncomp: u8, got_ncomp: u8 },
     /// Data that should have been ingested was not found.
     MissingData { detail: String },
+    /// A fault injected by a [`crate::faults::FaultPlan`].
+    Injected {
+        site: String,
+        detail: String,
+        transient: bool,
+    },
+    /// A whole database node is out of service.
+    NodeUnavailable { node: usize, detail: String },
+}
+
+impl StorageError {
+    /// Whether a bounded retry may succeed: injected transient faults and
+    /// the retryable I/O error kinds (interrupted / timed-out reads).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => matches!(
+                source.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            StorageError::Injected { transient, .. } => *transient,
+            _ => false,
+        }
+    }
+
+    /// Whether the error means a whole node is out of service (the
+    /// mediator degrades instead of failing the query).
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, StorageError::NodeUnavailable { .. })
+    }
+
+    /// Attaches a file name to an I/O error that lacks one, so retry
+    /// decisions and error messages name the failing partition.
+    #[must_use]
+    pub fn in_file(self, file: &str) -> Self {
+        match self {
+            StorageError::Io { file: f, source } if f.is_empty() => StorageError::Io {
+                file: file.to_string(),
+                source,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Io { file, source } if file.is_empty() => {
+                write!(f, "I/O error: {source}")
+            }
+            StorageError::Io { file, source } => write!(f, "I/O error in {file}: {source}"),
             StorageError::Corrupt { file, detail } => {
                 write!(f, "corrupt partition file {file}: {detail}")
             }
@@ -35,6 +91,18 @@ impl fmt::Display for StorageError {
                 "schema mismatch: table stores {expected_ncomp} components, record has {got_ncomp}"
             ),
             StorageError::MissingData { detail } => write!(f, "missing data: {detail}"),
+            StorageError::Injected {
+                site,
+                detail,
+                transient,
+            } => write!(
+                f,
+                "injected {} fault at {site}: {detail}",
+                if *transient { "transient" } else { "permanent" }
+            ),
+            StorageError::NodeUnavailable { node, detail } => {
+                write!(f, "node {node} unavailable: {detail}")
+            }
         }
     }
 }
@@ -42,7 +110,7 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StorageError::Io(e) => Some(e),
+            StorageError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -50,7 +118,10 @@ impl std::error::Error for StorageError {
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
-        StorageError::Io(e)
+        StorageError::Io {
+            file: String::new(),
+            source: e,
+        }
     }
 }
 
@@ -81,5 +152,44 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: StorageError = io.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn in_file_attaches_context_once() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = StorageError::from(io).in_file("node0/velocity_part_1.tdb");
+        assert!(e.to_string().contains("velocity_part_1.tdb"));
+        // a second context never overwrites the first
+        let e = e.in_file("other.tdb");
+        assert!(e.to_string().contains("velocity_part_1.tdb"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t = StorageError::from(std::io::Error::new(std::io::ErrorKind::Interrupted, "x"));
+        assert!(t.is_transient());
+        let p = StorageError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "x"));
+        assert!(!p.is_transient());
+        assert!(StorageError::Injected {
+            site: "block_read".into(),
+            detail: "x".into(),
+            transient: true
+        }
+        .is_transient());
+        assert!(!StorageError::Corrupt {
+            file: "f".into(),
+            detail: "d".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn unavailable_classification() {
+        let e = StorageError::NodeUnavailable {
+            node: 3,
+            detail: "killed".into(),
+        };
+        assert!(e.is_unavailable() && !e.is_transient());
+        assert!(e.to_string().contains("node 3"));
     }
 }

@@ -16,12 +16,15 @@
 //! * [`device`] — device profiles and per-query I/O accounting used by the
 //!   evaluation's modelled time breakdown (DESIGN.md §4),
 //! * [`mvcc`] — a multi-version store with snapshot isolation for the
-//!   mutable cache tables.
+//!   mutable cache tables,
+//! * [`faults`] — deterministic, seeded fault injection threaded through
+//!   block reads, cache inserts and node evaluation (robustness testing).
 
 pub mod block;
 pub mod bufferpool;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod mvcc;
 pub mod record;
 pub mod sstable;
@@ -31,6 +34,7 @@ pub use block::checksum;
 pub use bufferpool::BufferPool;
 pub use device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
 pub use error::{StorageError, StorageResult};
+pub use faults::{BlockReadFault, FaultCounts, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use mvcc::{CommitError, MvccStore, Txn};
 pub use record::{AtomKey, AtomRecord};
 pub use sstable::{BlockCache, DecodedBlock, PartitionReader, PartitionWriter};

@@ -94,6 +94,19 @@ fn run(client: &mut Client, cmd: &str, rest: &[String]) -> Result<(), Box<dyn st
                 a.nodes,
                 a.breakdown
             );
+            if let Some(d) = &a.degraded {
+                eprintln!(
+                    "WARNING: partial answer — {} node(s) failed, {} box(es) missing:",
+                    d.failed_nodes.len(),
+                    d.missing_boxes.len()
+                );
+                for f in &d.failed_nodes {
+                    eprintln!("  node {}: {}", f.node, f.reason);
+                }
+                for b in &d.missing_boxes {
+                    eprintln!("  missing {b:?}");
+                }
+            }
             for p in a.points.iter().take(10) {
                 let (x, y, z) = p.coords();
                 println!("  ({x:4},{y:4},{z:4})  {:.3}", p.value);

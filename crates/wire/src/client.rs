@@ -4,7 +4,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use tdb_core::{DerivedField, ThresholdPoint, TimeBreakdown};
+use tdb_core::{DegradedInfo, DerivedField, ThresholdPoint, TimeBreakdown};
 use tdb_zorder::Box3;
 
 use crate::json::Json;
@@ -64,6 +64,9 @@ pub struct ThresholdAnswer {
     pub breakdown: TimeBreakdown,
     pub cache_hits: u32,
     pub nodes: u32,
+    /// Present when the server answered from a partial cluster: names the
+    /// failed nodes and the boxes whose data is missing from `points`.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Metrics snapshot as name-sorted `(counters, gauges)` pairs.
@@ -150,11 +153,13 @@ impl Client {
                 breakdown,
                 cache_hits,
                 nodes,
+                degraded,
             } => Ok(ThresholdAnswer {
                 points,
                 breakdown,
                 cache_hits,
                 nodes,
+                degraded,
             }),
             _ => Err(ClientError::UnexpectedResponse("threshold")),
         }
@@ -197,7 +202,7 @@ impl Client {
             timestep,
             k,
         })? {
-            Response::TopK { points } => Ok(points),
+            Response::TopK { points, .. } => Ok(points),
             _ => Err(ClientError::UnexpectedResponse("topk")),
         }
     }

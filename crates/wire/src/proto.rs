@@ -7,7 +7,10 @@
 
 use std::fmt;
 
-use tdb_core::{AttrValue, DerivedField, QueryTrace, ThresholdPoint, TimeBreakdown, TraceSpan};
+use tdb_core::{
+    AttrValue, DegradedInfo, DerivedField, FailedNode, QueryTrace, ThresholdPoint, TimeBreakdown,
+    TraceSpan,
+};
 use tdb_zorder::Box3;
 
 use crate::json::Json;
@@ -397,14 +400,20 @@ pub enum Response {
         breakdown: TimeBreakdown,
         cache_hits: u32,
         nodes: u32,
+        /// Present when nodes failed and the answer is partial.
+        degraded: Option<DegradedInfo>,
     },
     Pdf {
         origin: f64,
         bin_width: f64,
         counts: Vec<u64>,
+        /// Present when nodes failed and the answer is partial.
+        degraded: Option<DegradedInfo>,
     },
     TopK {
         points: Vec<ThresholdPoint>,
+        /// Present when nodes failed and the answer is partial.
+        degraded: Option<DegradedInfo>,
     },
     Stats {
         count: u64,
@@ -552,6 +561,60 @@ fn points_from_json(v: &Json) -> Result<Vec<ThresholdPoint>, ProtoError> {
         .collect()
 }
 
+fn degraded_to_json(d: &DegradedInfo) -> Json {
+    Json::obj([
+        (
+            "failed_nodes",
+            Json::Arr(
+                d.failed_nodes
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("node", Json::Num(f.node as f64)),
+                            ("reason", Json::Str(f.reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "missing_boxes",
+            Json::Arr(d.missing_boxes.iter().map(box_to_json).collect()),
+        ),
+    ])
+}
+
+fn degraded_from_json(v: &Json) -> Result<DegradedInfo, ProtoError> {
+    let failed_nodes = v
+        .get("failed_nodes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError("failed_nodes must be an array".into()))?
+        .iter()
+        .map(|f| {
+            Ok(FailedNode {
+                node: u64_field(f, "node")? as usize,
+                reason: str_field(f, "reason")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ProtoError>>()?;
+    let missing_boxes = v
+        .get("missing_boxes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError("missing_boxes must be an array".into()))?
+        .iter()
+        .map(box_from_json)
+        .collect::<Result<Vec<_>, ProtoError>>()?;
+    Ok(DegradedInfo {
+        failed_nodes,
+        missing_boxes,
+    })
+}
+
+/// Parses the optional `degraded` member of a response document.
+fn opt_degraded(v: &Json) -> Result<Option<DegradedInfo>, ProtoError> {
+    v.get("degraded").map(degraded_from_json).transpose()
+}
+
 fn breakdown_to_json(b: &TimeBreakdown) -> Json {
     Json::obj([
         ("cache_lookup_s", Json::Num(b.cache_lookup_s)),
@@ -614,30 +677,50 @@ impl Response {
                 breakdown,
                 cache_hits,
                 nodes,
-            } => Json::obj([
-                ("ok", Json::Str("threshold".into())),
-                ("points", points_to_json(points)),
-                ("breakdown", breakdown_to_json(breakdown)),
-                ("cache_hits", Json::Num(f64::from(*cache_hits))),
-                ("nodes", Json::Num(f64::from(*nodes))),
-            ]),
+                degraded,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Str("threshold".into())),
+                    ("points", points_to_json(points)),
+                    ("breakdown", breakdown_to_json(breakdown)),
+                    ("cache_hits", Json::Num(f64::from(*cache_hits))),
+                    ("nodes", Json::Num(f64::from(*nodes))),
+                ];
+                if let Some(d) = degraded {
+                    pairs.push(("degraded", degraded_to_json(d)));
+                }
+                Json::obj(pairs)
+            }
             Response::Pdf {
                 origin,
                 bin_width,
                 counts,
-            } => Json::obj([
-                ("ok", Json::Str("pdf".into())),
-                ("origin", Json::Num(*origin)),
-                ("bin_width", Json::Num(*bin_width)),
-                (
-                    "counts",
-                    Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()),
-                ),
-            ]),
-            Response::TopK { points } => Json::obj([
-                ("ok", Json::Str("topk".into())),
-                ("points", points_to_json(points)),
-            ]),
+                degraded,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Str("pdf".into())),
+                    ("origin", Json::Num(*origin)),
+                    ("bin_width", Json::Num(*bin_width)),
+                    (
+                        "counts",
+                        Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+                    ),
+                ];
+                if let Some(d) = degraded {
+                    pairs.push(("degraded", degraded_to_json(d)));
+                }
+                Json::obj(pairs)
+            }
+            Response::TopK { points, degraded } => {
+                let mut pairs = vec![
+                    ("ok", Json::Str("topk".into())),
+                    ("points", points_to_json(points)),
+                ];
+                if let Some(d) = degraded {
+                    pairs.push(("degraded", degraded_to_json(d)));
+                }
+                Json::obj(pairs)
+            }
             Response::Stats {
                 count,
                 mean,
@@ -761,6 +844,7 @@ impl Response {
                 breakdown: breakdown_from_json(field(v, "breakdown")?)?,
                 cache_hits: u64_field(v, "cache_hits")? as u32,
                 nodes: u64_field(v, "nodes")? as u32,
+                degraded: opt_degraded(v)?,
             }),
             "pdf" => Ok(Response::Pdf {
                 origin: num_field(v, "origin")?,
@@ -775,9 +859,11 @@ impl Response {
                             .ok_or_else(|| ProtoError("count must be u64".into()))
                     })
                     .collect::<Result<Vec<_>, _>>()?,
+                degraded: opt_degraded(v)?,
             }),
             "topk" => Ok(Response::TopK {
                 points: points_from_json(field(v, "points")?)?,
+                degraded: opt_degraded(v)?,
             }),
             "stats" => Ok(Response::Stats {
                 count: u64_field(v, "count")?,
@@ -977,14 +1063,17 @@ mod tests {
             },
             cache_hits: 2,
             nodes: 4,
+            degraded: None,
         });
         roundtrip_resp(Response::Pdf {
             origin: 0.0,
             bin_width: 10.0,
             counts: vec![100, 10, 1, 0],
+            degraded: None,
         });
         roundtrip_resp(Response::TopK {
             points: vec![ThresholdPoint::at(5, 5, 5, 99.0)],
+            degraded: None,
         });
         roundtrip_resp(Response::Stats {
             count: 262144,
@@ -1033,6 +1122,47 @@ mod tests {
     }
 
     #[test]
+    fn degraded_status_roundtrips() {
+        let degraded = Some(DegradedInfo {
+            failed_nodes: vec![FailedNode {
+                node: 1,
+                reason: "node 1 unavailable: injected node failure".into(),
+            }],
+            missing_boxes: vec![Box3::new([0, 16, 0], [63, 31, 63])],
+        });
+        roundtrip_resp(Response::Threshold {
+            points: vec![ThresholdPoint::at(1, 2, 3, 45.5)],
+            breakdown: TimeBreakdown {
+                cache_lookup_s: 0.001,
+                io_s: 0.5,
+                compute_s: 0.25,
+                mediator_db_s: 0.004,
+                mediator_user_s: 0.02,
+            },
+            cache_hits: 0,
+            nodes: 3,
+            degraded: degraded.clone(),
+        });
+        roundtrip_resp(Response::Pdf {
+            origin: 0.0,
+            bin_width: 1.0,
+            counts: vec![4, 2],
+            degraded: degraded.clone(),
+        });
+        roundtrip_resp(Response::TopK {
+            points: vec![],
+            degraded,
+        });
+        // absent on the wire decodes as None, not an error
+        let clean = Response::TopK {
+            points: vec![],
+            degraded: None,
+        };
+        let back = Response::from_json(&Json::parse(&clean.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, clean);
+    }
+
+    #[test]
     fn trace_attrs_serialize_as_display_strings() {
         let root = TraceSpan::new("query.threshold", 0.0, 1.0).with_attr("points", 7u64);
         let r = Response::Trace {
@@ -1063,9 +1193,12 @@ mod tests {
     #[test]
     fn threshold_points_preserve_morton_identity() {
         let p = ThresholdPoint::at(100, 200, 300, 7.5);
-        let r = Response::TopK { points: vec![p] };
+        let r = Response::TopK {
+            points: vec![p],
+            degraded: None,
+        };
         let back = Response::from_json(&Json::parse(&r.to_json().encode()).unwrap()).unwrap();
-        let Response::TopK { points } = back else {
+        let Response::TopK { points, .. } = back else {
             panic!()
         };
         assert_eq!(points[0].zindex, p.zindex);

@@ -5,10 +5,11 @@
 //! Transport: TCP, one JSON document per `\n`-terminated line in each
 //! direction, thread per connection with a connection cap.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use tdb_core::batch::{BatchSession, JobId, JobSpec, JobState};
 use tdb_core::{QueryError, ThresholdQuery, TurbulenceService};
@@ -23,6 +24,17 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// MyDB quota for the server's shared batch session.
     pub mydb_quota_bytes: u64,
+    /// Socket read timeout. An idle connection is closed (and counted in
+    /// `wire.connection.timeout`) instead of pinning its thread forever.
+    /// `None` waits indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; a client that stops draining its responses
+    /// cannot stall the handler thread indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Largest accepted request line in bytes; longer requests get an
+    /// error response and the connection is closed (the remainder of the
+    /// line is never buffered).
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -30,6 +42,9 @@ impl Default for ServerConfig {
         Self {
             max_connections: 64,
             mydb_quota_bytes: 256 << 20,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_request_bytes: 1 << 20,
         }
     }
 }
@@ -129,20 +144,65 @@ fn accept_loop(
             continue;
         }
         live.fetch_add(1, Ordering::SeqCst);
+        let _ = stream.set_read_timeout(config.read_timeout);
+        let _ = stream.set_write_timeout(config.write_timeout);
         let st = Arc::clone(&state);
         let counter = Arc::clone(&live);
+        let max_request_bytes = config.max_request_bytes;
         std::thread::spawn(move || {
-            let _ = serve_connection(stream, &st);
+            let _ = serve_connection(stream, &st, max_request_bytes);
             counter.fetch_sub(1, Ordering::SeqCst);
         });
     }
 }
 
-fn serve_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    max_request_bytes: usize,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // read at most cap + '\n' + 1 sentinel byte: a line that hits the
+        // take() limit is over the cap without the rest ever being buffered
+        let n = match (&mut reader)
+            .take(max_request_bytes as u64 + 2)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                tdb_obs::add("wire.connection.timeout", 1);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        while buf.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+            buf.pop();
+        }
+        if buf.len() > max_request_bytes {
+            tdb_obs::add("wire.request.oversized", 1);
+            let resp = Response::Error {
+                message: format!("request exceeds the {max_request_bytes}-byte limit"),
+            };
+            let _ = writeln!(writer, "{}", resp.to_json().encode());
+            let _ = writer.flush();
+            // the rest of the line was never read; resync is impossible
+            return Ok(());
+        }
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() {
             continue;
         }
@@ -150,7 +210,6 @@ fn serve_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<(
         writeln!(writer, "{}", response.to_json().encode())?;
         writer.flush()?;
     }
-    Ok(())
 }
 
 /// Parses one request line and executes it against a full server state
@@ -299,6 +358,7 @@ pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
                     breakdown: r.breakdown,
                     cache_hits: r.cache_hits as u32,
                     nodes: r.nodes as u32,
+                    degraded: r.degraded,
                 },
                 Err(e) => query_error(e),
             }
@@ -322,6 +382,7 @@ pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
                     origin: *origin,
                     bin_width: *bin_width,
                     counts: r.histogram.counts().to_vec(),
+                    degraded: r.degraded,
                 },
                 Err(e) => query_error(e),
             }
@@ -339,7 +400,10 @@ pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
             }
             let q = ThresholdQuery::whole_timestep(raw_field, *derived, *timestep, 0.0);
             match service.get_topk(&q, *k as usize) {
-                Ok(r) => Response::TopK { points: r.points },
+                Ok(r) => Response::TopK {
+                    points: r.points,
+                    degraded: r.degraded,
+                },
                 Err(e) => query_error(e),
             }
         }

@@ -1,12 +1,20 @@
 //! Fault tolerance of the query path: corrupted partition blocks are
 //! detected by the CRC and surfaced as query errors — never as silent
-//! wrong answers or crashes.
+//! wrong answers or crashes; injected transient faults are retried away;
+//! corrupted cache entries self-heal; a dead node degrades the answer
+//! instead of failing it (unless strict mode asks otherwise).
 
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
 
 use tdb_cluster::ClusterConfig;
-use tdb_core::{DerivedField, QueryError, ServiceConfig, ThresholdQuery, TurbulenceService};
+use tdb_core::{
+    DerivedField, QueryError, QueryLimits, ServiceConfig, ThresholdPoint, ThresholdQuery,
+    TurbulenceService,
+};
+use tdb_storage::{FaultPlan, FaultRule};
 use tdb_turbgen::SyntheticDataset;
+use tdb_zorder::Box3;
 
 fn build(tag: &str) -> (TurbulenceService, std::path::PathBuf) {
     let dir = tdb_bench::scratch_dir(tag);
@@ -91,6 +99,226 @@ fn corruption_in_one_field_leaves_others_usable() {
         .get_threshold(&q)
         .expect("unrelated field must work");
     assert!(!r.points.is_empty());
+}
+
+/// Same shape as [`build`] but with a fault plan and failure policy.
+fn build_faulted(tag: &str, plan: Option<Arc<FaultPlan>>, strict: bool) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            faults: plan,
+            ..ClusterConfig::default()
+        },
+        limits: QueryLimits {
+            strict,
+            ..Default::default()
+        },
+        data_dir: tdb_bench::scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}
+
+/// Bit-exact, order-independent view of a threshold answer.
+fn point_bits(points: &[ThresholdPoint]) -> Vec<(u64, u32)> {
+    let mut v: Vec<(u64, u32)> = points
+        .iter()
+        .map(|p| (p.zindex, p.value.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// The fault-free answer restricted to points outside `missing` — what a
+/// degraded answer must equal bit for bit.
+fn surviving_bits(reference: &[ThresholdPoint], missing: &[Box3]) -> Vec<(u64, u32)> {
+    let mut v: Vec<(u64, u32)> = reference
+        .iter()
+        .filter(|p| {
+            let (x, y, z) = p.coords();
+            !missing.iter().any(|b| b.contains_point(x, y, z))
+        })
+        .map(|p| (p.zindex, p.value.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn curl_query() -> ThresholdQuery {
+    ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 25.0)
+}
+
+#[test]
+fn transient_read_faults_retry_to_a_byte_identical_answer() {
+    // the 32³ test archive only loads a handful of blocks, so a realistic
+    // 1% rate would often fire zero faults; 25% guarantees exercise while
+    // the fixed seed keeps every attempt sequence short of exhaustion
+    let plan = FaultPlan::new(0x5eed)
+        .with_rule(FaultRule::transient_reads(0.25))
+        .shared();
+    let faulted = build_faulted("fi_transient", Some(Arc::clone(&plan)), false);
+    let (clean, _dir) = build("fi_transient_ref");
+    // bulk load leaves the blocks in the pool; faults only fire on the
+    // disk-load path, so make the query cold
+    faulted.cluster().clear_buffer_pools();
+    let q = curl_query().without_cache();
+    let a = faulted
+        .get_threshold(&q)
+        .expect("retries must absorb transient faults");
+    let b = clean.get_threshold(&q).expect("clean reference");
+    assert_eq!(point_bits(&a.points), point_bits(&b.points));
+    assert!(a.degraded.is_none());
+    let counts = plan.counts();
+    assert!(
+        counts.transient > 0,
+        "seed 0x5eed must fire at least one transient fault"
+    );
+}
+
+#[test]
+fn corrupted_cache_entry_is_quarantined_and_self_heals() {
+    let (service, _dir) = build("fi_heal");
+    let q = curl_query();
+    let cold = service.get_threshold(&q).expect("cold scan");
+    let warm = service.get_threshold(&q).expect("warm hit");
+    assert_eq!(warm.cache_hits, warm.nodes, "cache should be warm");
+
+    let corrupted = service
+        .cluster()
+        .corrupt_cache_entry("velocity", DerivedField::CurlNorm, 0);
+    assert!(corrupted > 0, "no cached entries to corrupt");
+    service.cluster().clear_buffer_pools();
+
+    // the poisoned entry must not answer: it is quarantined and the node
+    // recomputes from raw atoms, bit-identical to the original cold scan
+    let healed = service.get_threshold(&q).expect("healing query");
+    assert_eq!(healed.cache_hits, 0, "a quarantined entry must not answer");
+    assert_eq!(point_bits(&healed.points), point_bits(&cold.points));
+    assert!(service.cluster().cache_stats().quarantined >= corrupted as u64);
+
+    // the recomputation rebuilt the entry: hits serve again, still identical
+    let rewarm = service.get_threshold(&q).expect("rebuilt entry");
+    assert_eq!(rewarm.cache_hits, rewarm.nodes, "healed entry must serve");
+    assert_eq!(point_bits(&rewarm.points), point_bits(&cold.points));
+}
+
+#[test]
+fn killed_node_yields_degraded_answer_with_exact_missing_boxes() {
+    let plan = FaultPlan::new(1).shared();
+    let faulted = build_faulted("fi_down", Some(Arc::clone(&plan)), false);
+    let (clean, _dir) = build("fi_down_ref");
+    let q = curl_query().without_cache();
+    let full = clean.get_threshold(&q).expect("reference");
+
+    plan.set_node_down(1, true);
+    let r = faulted.get_threshold(&q).expect("must degrade, not fail");
+    let degraded = r.degraded.expect("partial answer must be flagged");
+    assert_eq!(degraded.failed_nodes.len(), 1);
+    assert_eq!(degraded.failed_nodes[0].node, 1);
+    assert!(degraded.failed_nodes[0].reason.contains("unavailable"));
+
+    // missing boxes are exactly the killed node's chunks ∩ the query box
+    let query_box = faulted.full_box();
+    let expected: Vec<Box3> = faulted
+        .cluster()
+        .layout()
+        .chunks_of_node(1)
+        .iter()
+        .filter_map(|c| c.grid_box().intersect(&query_box))
+        .collect();
+    assert!(!expected.is_empty());
+    assert_eq!(degraded.missing_boxes, expected);
+
+    // surviving points are the fault-free answer outside those boxes
+    assert_eq!(
+        point_bits(&r.points),
+        surviving_bits(&full.points, &degraded.missing_boxes)
+    );
+    assert!(plan.counts().node_down > 0);
+
+    // reviving the node restores the full answer
+    plan.set_node_down(1, false);
+    let back = faulted.get_threshold(&q).expect("revived");
+    assert!(back.degraded.is_none());
+    assert_eq!(point_bits(&back.points), point_bits(&full.points));
+}
+
+#[test]
+fn strict_mode_fails_loudly_when_a_node_is_down() {
+    let plan = FaultPlan::new(2).shared();
+    let service = build_faulted("fi_strict", Some(Arc::clone(&plan)), true);
+    plan.set_node_down(0, true);
+    let q = curl_query().without_cache();
+    match service.get_threshold(&q) {
+        Err(QueryError::Backend(msg)) => {
+            assert!(msg.contains("unavailable"), "unexpected message: {msg}");
+        }
+        Ok(_) => panic!("strict mode must not return a partial answer"),
+        Err(other) => panic!("expected Backend error, got {other:?}"),
+    }
+}
+
+/// The issue's acceptance scenario end to end: 1% transient block reads, a
+/// corrupted cached entry, and a killed node — and the full-box query still
+/// completes, byte-identical outside the dead node's boxes, with matching
+/// process-wide counters.
+#[test]
+fn combined_faults_still_complete_a_full_box_query() {
+    let seed = FaultPlan::seed_from_env(0x7411);
+    let plan = FaultPlan::new(seed)
+        .with_rule(FaultRule::transient_reads(0.01))
+        .shared();
+    let faulted = build_faulted("fi_combined", Some(Arc::clone(&plan)), false);
+    let (clean, _dir) = build("fi_combined_ref");
+    let q = curl_query();
+    let reference = clean.get_threshold(&q).expect("clean reference");
+    let before = faulted.metrics_snapshot();
+
+    // warm the cache under transient read faults: already byte-identical
+    faulted.cluster().clear_buffer_pools();
+    let warm = faulted
+        .get_threshold(&q)
+        .expect("warm under transient faults");
+    assert_eq!(point_bits(&warm.points), point_bits(&reference.points));
+
+    // poison the cache, kill a node, drop the buffer pools
+    let corrupted = faulted
+        .cluster()
+        .corrupt_cache_entry("velocity", DerivedField::CurlNorm, 0);
+    assert!(corrupted > 0);
+    plan.set_node_down(1, true);
+    faulted.cluster().clear_buffer_pools();
+
+    let r = faulted
+        .get_threshold(&q)
+        .expect("query must complete despite all three fault kinds");
+    let degraded = r.degraded.expect("killed node must be reported");
+    assert_eq!(degraded.failed_nodes.len(), 1);
+    assert_eq!(degraded.failed_nodes[0].node, 1);
+    // the surviving node healed its cache entry from raw atoms: the answer
+    // is the fault-free one restricted to the live node's boxes
+    assert_eq!(
+        point_bits(&r.points),
+        surviving_bits(&reference.points, &degraded.missing_boxes)
+    );
+
+    // the process-wide registry saw at least this plan's faults (other
+    // tests share the registry, so deltas are lower bounds)
+    let after = faulted.metrics_snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    let counts = plan.counts();
+    assert!(counts.node_down >= 1);
+    assert!(delta("faults.injected.node_down") >= counts.node_down);
+    assert!(delta("faults.injected.transient") >= counts.transient);
+    assert!(delta("cache.semantic.quarantined") >= 1);
+    assert!(delta("cache.semantic.rebuilt") >= 1);
+    assert!(delta("query.degraded") >= 1);
+    if counts.transient > 0 {
+        assert!(delta("storage.read.retries") >= counts.transient);
+    }
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! The Web-services layer end to end: a real server on a real socket,
 //! queried by the client library, answers identical to in-process calls.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use tdb_bench::test_service;
 use tdb_core::{DerivedField, ThresholdQuery};
@@ -170,6 +173,108 @@ fn batch_jobs_and_mydb_over_the_wire() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     assert!(client.job_status(9999).is_err(), "unknown job id errors");
+    server.stop();
+}
+
+#[test]
+fn oversized_requests_are_rejected_and_the_connection_closed() {
+    let service = Arc::new(test_service("wire_oversize", 32, 1, 2));
+    let config = ServerConfig {
+        max_request_bytes: 256,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0", config).expect("bind");
+    let before = service.metrics_snapshot();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let big = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(1024));
+    stream.write_all(big.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    assert!(
+        line.contains("error") && line.contains("byte limit"),
+        "unexpected response: {line}"
+    );
+    // the rest of the oversized line was never read, so the server closes
+    line.clear();
+    let n = reader.read_line(&mut line).expect("clean EOF");
+    assert_eq!(n, 0, "connection must be closed after an oversized request");
+    assert!(
+        service.metrics_snapshot().counter("wire.request.oversized")
+            > before.counter("wire.request.oversized")
+    );
+    server.stop();
+}
+
+#[test]
+fn idle_connections_time_out_and_close() {
+    let service = Arc::new(test_service("wire_idle", 32, 1, 2));
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0", config).expect("bind");
+    let before = service.metrics_snapshot();
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // send nothing: the server must hang up on its own
+    let n = reader.read_line(&mut line).expect("server closes cleanly");
+    assert_eq!(n, 0, "expected EOF after the server-side idle timeout");
+    assert!(
+        service
+            .metrics_snapshot()
+            .counter("wire.connection.timeout")
+            > before.counter("wire.connection.timeout")
+    );
+    server.stop();
+}
+
+#[test]
+fn degraded_status_travels_the_wire() {
+    let plan = tdb_storage::FaultPlan::new(3).shared();
+    let config = tdb_core::ServiceConfig {
+        dataset: tdb_turbgen::SyntheticDataset::mhd(32, 1, 0x7db),
+        cluster: tdb_cluster::ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            faults: Some(Arc::clone(&plan)),
+            ..tdb_cluster::ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: tdb_bench::scratch_dir("wire_degraded"),
+    };
+    let service = Arc::new(tdb_core::TurbulenceService::build(config).expect("build"));
+    let server =
+        Server::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    plan.set_node_down(1, true);
+    let a = client
+        .get_threshold("velocity", DerivedField::CurlNorm, 0, None, 25.0)
+        .expect("degraded answer must still arrive");
+    let d = a
+        .degraded
+        .expect("degraded flag must survive serialization");
+    assert_eq!(d.failed_nodes.len(), 1);
+    assert_eq!(d.failed_nodes[0].node, 1);
+    assert!(!d.missing_boxes.is_empty());
+
+    // revived node → clean answers again, same connection
+    plan.set_node_down(1, false);
+    let b = client
+        .get_threshold("velocity", DerivedField::CurlNorm, 0, None, 25.0)
+        .expect("clean answer");
+    assert!(b.degraded.is_none());
+    assert!(b.points.len() >= a.points.len());
     server.stop();
 }
 
