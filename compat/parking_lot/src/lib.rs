@@ -75,6 +75,22 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard's
+    /// lock while waiting.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let held = guard.inner.take().expect("guard present");
+        let (reacquired, result) = self
+            .0
+            .wait_timeout(held, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -83,6 +99,17 @@ impl Condvar {
     /// Wakes every waiter.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -121,6 +148,15 @@ mod tests {
             cv.notify_all();
         }
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Concurrent-clients microbenchmark: 1 / 4 / 16 simulated clients
+//! issuing the same cold threshold query, evaluated independently (one
+//! scan per client) versus as one coalesced batch (one shared scan).
+//! The wall-clock numbers land in Criterion's report; the atoms-decoded
+//! delta is what the repro harness records in `repro_metrics.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::test_service;
+use tdb_core::{DerivedField, ThresholdQuery, TurbulenceService};
+
+fn query() -> ThresholdQuery {
+    ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 25.0).without_cache()
+}
+
+fn atoms_scanned() -> u64 {
+    tdb_obs::global().snapshot().counter("node.atoms_scanned")
+}
+
+fn run_independent(service: &TurbulenceService, clients: usize) -> usize {
+    let q = query();
+    service.cluster().clear_buffer_pools();
+    (0..clients)
+        .map(|_| service.get_threshold(&q).unwrap().points.len())
+        .sum()
+}
+
+fn run_shared(service: &TurbulenceService, clients: usize) -> usize {
+    let qs = vec![query(); clients];
+    service.cluster().clear_buffer_pools();
+    service
+        .get_threshold_batch(&qs)
+        .into_iter()
+        .map(|r| r.unwrap().points.len())
+        .sum()
+}
+
+fn concurrent_clients(c: &mut Criterion) {
+    let service = test_service("bench_conc", 64, 1, 4);
+    let mut g = c.benchmark_group("concurrent_clients");
+    g.sample_size(10);
+    for clients in [1usize, 4, 16] {
+        // report the decode amplification once per client count
+        let before = atoms_scanned();
+        run_independent(&service, clients);
+        let independent = atoms_scanned() - before;
+        let before = atoms_scanned();
+        run_shared(&service, clients);
+        let shared = atoms_scanned() - before;
+        eprintln!(
+            "clients={clients}: atoms decoded independent={independent} shared={shared} ({:.1}x saved)",
+            independent as f64 / shared.max(1) as f64
+        );
+        g.bench_with_input(
+            BenchmarkId::new("independent", clients),
+            &clients,
+            |b, &n| b.iter(|| run_independent(&service, n)),
+        );
+        g.bench_with_input(BenchmarkId::new("shared", clients), &clients, |b, &n| {
+            b.iter(|| run_shared(&service, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, concurrent_clients);
+criterion_main!(benches);

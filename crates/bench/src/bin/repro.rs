@@ -38,13 +38,25 @@ struct Repro {
     thresholds: BTreeMap<(String, String), [f64; 3]>,
     /// machine-readable results, written to repro_results.json
     results: Vec<Json>,
+    /// shared-vs-independent decode deltas, written to repro_metrics.json
+    concurrency: Vec<Json>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() {
         vec![
-            "fig2", "fig3", "fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "local", "hitratio",
+            "fig2",
+            "fig3",
+            "fig4",
+            "table1",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "local",
+            "hitratio",
+            "concurrent",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -70,6 +82,7 @@ fn main() {
         timesteps,
         thresholds: BTreeMap::new(),
         results: Vec::new(),
+        concurrency: Vec::new(),
     };
     for exp in wanted {
         let t = std::time::Instant::now();
@@ -84,6 +97,7 @@ fn main() {
             "fig9" => repro.fig9(),
             "local" => repro.local(),
             "hitratio" => repro.hitratio(),
+            "concurrent" => repro.concurrent(),
             other => eprintln!("unknown experiment '{other}', skipping"),
         }
         repro.results.push(Json::obj([
@@ -107,6 +121,7 @@ fn main() {
     // buffer-pool traffic, cache hits/misses, per-device I/O, query outcomes
     let snap = repro.service.metrics_snapshot();
     let metrics_doc = Json::obj([
+        ("concurrency", Json::Arr(repro.concurrency.clone())),
         (
             "counters",
             Json::Obj(
@@ -532,6 +547,44 @@ impl Repro {
             ("misses", Json::Num(stats.misses as f64)),
             ("ratio", Json::Num(ratio)),
         ]));
+    }
+
+    /// Shared-scan amplification: N clients issuing the same cold query,
+    /// evaluated independently (one scan each) vs as one coalesced batch
+    /// (one shared scan). Reports the atoms-decoded delta.
+    fn concurrent(&mut self) {
+        println!("---- concurrent clients: shared scan vs independent scans ----");
+        let tiers = self.tiers("velocity", DerivedField::CurlNorm);
+        let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, tiers[1])
+            .without_cache();
+        let atoms = || tdb_obs::global().snapshot().counter("node.atoms_scanned");
+        for clients in [1usize, 4, 16] {
+            self.service.cluster().clear_buffer_pools();
+            let before = atoms();
+            for _ in 0..clients {
+                self.service.get_threshold(&q).expect("query");
+            }
+            let independent = atoms() - before;
+            self.service.cluster().clear_buffer_pools();
+            let before = atoms();
+            let qs = vec![q.clone(); clients];
+            for r in self.service.get_threshold_batch(&qs) {
+                r.expect("batched query");
+            }
+            let shared = atoms() - before;
+            let saved = independent as f64 / shared.max(1) as f64;
+            println!(
+                "{clients:>2} clients: atoms decoded independent={independent} shared={shared} ({saved:.1}x saved)"
+            );
+            self.concurrency.push(Json::obj([
+                ("clients", Json::Num(clients as f64)),
+                ("atoms_decoded_independent", Json::Num(independent as f64)),
+                ("atoms_decoded_shared", Json::Num(shared as f64)),
+                ("atoms_saved", Json::Num((independent - shared) as f64)),
+                ("amplification", Json::Num(saved)),
+            ]));
+        }
+        println!("(one decode serves every concurrently admitted query over the span)\n");
     }
 
     // --- §5.3: local evaluation baseline --------------------------------------

@@ -64,15 +64,29 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
 /// Builds a small MHD service for tests: `n`-cube grid, `timesteps` steps,
 /// `nodes` database nodes.
 pub fn test_service(tag: &str, n: usize, timesteps: u32, nodes: usize) -> TurbulenceService {
+    test_service_with(tag, n, timesteps, nodes, |_| {})
+}
+
+/// Like [`test_service`] but lets the caller adjust the cluster
+/// configuration (e.g. enable scan coalescing) before the build.
+pub fn test_service_with(
+    tag: &str,
+    n: usize,
+    timesteps: u32,
+    nodes: usize,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> TurbulenceService {
+    let mut cluster = ClusterConfig {
+        num_nodes: nodes,
+        procs_per_node: 2,
+        arrays_per_node: 2,
+        chunk_atoms: 2,
+        ..ClusterConfig::default()
+    };
+    tweak(&mut cluster);
     let config = ServiceConfig {
         dataset: SyntheticDataset::mhd(n, timesteps, 0x7db),
-        cluster: ClusterConfig {
-            num_nodes: nodes,
-            procs_per_node: 2,
-            arrays_per_node: 2,
-            chunk_atoms: 2,
-            ..ClusterConfig::default()
-        },
+        cluster,
         limits: Default::default(),
         data_dir: scratch_dir(tag),
     };

@@ -29,10 +29,39 @@ pub struct ClusterConfig {
     /// harness sets ~8 to stand in for the 2.66 GHz Harpertown nodes
     /// (see EXPERIMENTS.md). Default 1.0 = report measured CPU time.
     pub compute_scale: f64,
+    /// When set, kernel compute time is modelled as this many seconds per
+    /// evaluated grid point instead of measured thread CPU time, making
+    /// the reported time model fully deterministic (used by the scaling
+    /// tests so they cannot flake on loaded machines).
+    pub synthetic_compute_s_per_point: Option<f64>,
+    /// Multi-query scan coalescing. `None` (default) evaluates every
+    /// query independently; `Some` routes queries through the mediator's
+    /// scan scheduler, which batches concurrent queries over the same
+    /// scan key into one shared atom scan.
+    pub coalesce: Option<CoalesceConfig>,
     /// Deterministic fault-injection plan threaded through every node's
     /// buffer pool, semantic cache and query evaluator. `None` (default)
     /// disables injection entirely.
     pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// Scan-scheduler batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceConfig {
+    /// How long the first query for a scan key holds the batch open
+    /// waiting for companions, in milliseconds.
+    pub window_ms: u64,
+    /// Close the batch early once this many queries joined.
+    pub max_batch: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 2,
+            max_batch: 16,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -46,6 +75,8 @@ impl Default for ClusterConfig {
             chunk_atoms: 4,
             fd_order: FdOrder::O4,
             compute_scale: 1.0,
+            synthetic_compute_s_per_point: None,
+            coalesce: None,
             faults: None,
         }
     }

@@ -20,14 +20,19 @@ pub mod cputime;
 pub mod mediator;
 pub mod node;
 pub mod placement;
+pub mod scan;
+pub mod scheduler;
 pub mod sim;
 pub mod timing;
 pub mod wire;
 
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, CoalesceConfig};
 pub use mediator::{
-    Cluster, ClusterBuilder, DegradedInfo, FailedNode, PdfResponse, ThresholdResponse, TopKResponse,
+    BatchAnswer, BatchQuery, Cluster, ClusterBuilder, DegradedInfo, FailedNode, PdfResponse,
+    ThresholdResponse, TopKResponse,
 };
 pub use node::{QueryMode, ThresholdSubquery};
 pub use placement::{Chunk, Layout};
+pub use scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
+pub use sim::NodeTimeModel;
 pub use timing::TimeBreakdown;

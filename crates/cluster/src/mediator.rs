@@ -21,8 +21,11 @@ use tdb_storage::{
 use tdb_zorder::{AtomCoord, Box3, ZRange};
 
 use crate::config::ClusterConfig;
-use crate::node::{NodeResult, NodeRuntime, QueryMode, ThresholdSubquery};
+use crate::node::{NodeResult, NodeRuntime, QueryMode};
 use crate::placement::Layout;
+use crate::scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
+use crate::scheduler::ScanScheduler;
+use crate::sim::NodeTimeModel;
 use crate::timing::TimeBreakdown;
 use crate::wire;
 
@@ -73,10 +76,149 @@ pub struct ThresholdResponse {
     pub nodes: usize,
     /// Real wall-clock of the in-process evaluation.
     pub wall_s: f64,
+    /// Per-surviving-node closed-form time models (zero for cache hits),
+    /// letting callers evaluate `t(p)` at any process count deterministically.
+    pub node_models: Vec<NodeTimeModel>,
     /// Span tree of the query's phases and per-node work.
     pub trace: Option<QueryTrace>,
     /// `Some` when one or more nodes failed and the answer is partial.
     pub degraded: Option<DegradedInfo>,
+}
+
+/// One query of a multi-query batch evaluated against shared scans.
+#[derive(Debug, Clone)]
+pub enum BatchQuery {
+    Threshold(ThresholdRequest),
+    Pdf {
+        req: ThresholdRequest,
+        origin: f64,
+        width: f64,
+        nbins: usize,
+    },
+    TopK {
+        req: ThresholdRequest,
+        k: usize,
+    },
+}
+
+impl BatchQuery {
+    /// The underlying threshold-shaped request.
+    pub fn request(&self) -> &ThresholdRequest {
+        match self {
+            BatchQuery::Threshold(r) => r,
+            BatchQuery::Pdf { req, .. } | BatchQuery::TopK { req, .. } => req,
+        }
+    }
+
+    fn participant(&self) -> ScanParticipant {
+        match self {
+            BatchQuery::Threshold(r) => ScanParticipant {
+                query_box: r.query_box,
+                kernel: ScanKernel::Threshold {
+                    threshold: r.threshold,
+                },
+                use_cache: r.use_cache,
+            },
+            BatchQuery::Pdf {
+                req,
+                origin,
+                width,
+                nbins,
+            } => ScanParticipant {
+                query_box: req.query_box,
+                kernel: ScanKernel::Pdf {
+                    origin: *origin,
+                    width: *width,
+                    nbins: *nbins,
+                },
+                use_cache: req.use_cache,
+            },
+            BatchQuery::TopK { req, .. } => ScanParticipant {
+                query_box: req.query_box,
+                kernel: ScanKernel::TopK,
+                use_cache: false,
+            },
+        }
+    }
+}
+
+/// The per-kind answer of a [`BatchQuery`].
+#[derive(Debug)]
+pub enum BatchAnswer {
+    Threshold(ThresholdResponse),
+    Pdf(PdfResponse),
+    TopK(TopKResponse),
+}
+
+/// Everything that must agree for two queries to share one atom scan.
+/// The threshold value, query box and kernel are per-participant; the
+/// degradation policy (strict / deadline) is part of the key so a group
+/// is filtered uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ScanGroupKey {
+    raw_field: String,
+    derived: DerivedField,
+    timestep: u32,
+    full_mode: bool,
+    procs_override: Option<usize>,
+    strict: bool,
+    deadline_bits: Option<u64>,
+}
+
+impl ScanGroupKey {
+    pub(crate) fn of(req: &ThresholdRequest) -> Self {
+        Self {
+            raw_field: req.raw_field.clone(),
+            derived: req.derived,
+            timestep: req.timestep,
+            full_mode: req.mode == QueryMode::Full,
+            procs_override: req.procs_override,
+            strict: req.strict,
+            deadline_bits: req.node_deadline_s.map(f64::to_bits),
+        }
+    }
+}
+
+/// Fans a per-node error out to every query of a shared-scan group.
+/// [`StorageError`] holds an `io::Error` and cannot be `Clone`, so the
+/// variants are reconstructed field by field.
+fn clone_storage_error(e: &StorageError) -> StorageError {
+    match e {
+        StorageError::Io { file, source } => StorageError::Io {
+            file: file.clone(),
+            source: std::io::Error::new(source.kind(), source.to_string()),
+        },
+        StorageError::Corrupt { file, detail } => StorageError::Corrupt {
+            file: file.clone(),
+            detail: detail.clone(),
+        },
+        StorageError::KeyOrder { detail } => StorageError::KeyOrder {
+            detail: detail.clone(),
+        },
+        StorageError::SchemaMismatch {
+            expected_ncomp,
+            got_ncomp,
+        } => StorageError::SchemaMismatch {
+            expected_ncomp: *expected_ncomp,
+            got_ncomp: *got_ncomp,
+        },
+        StorageError::MissingData { detail } => StorageError::MissingData {
+            detail: detail.clone(),
+        },
+        StorageError::Injected {
+            site,
+            detail,
+            transient,
+        } => StorageError::Injected {
+            site: site.clone(),
+            detail: detail.clone(),
+            transient: *transient,
+        },
+        StorageError::NodeUnavailable { node, detail } => StorageError::NodeUnavailable {
+            node: *node,
+            detail: detail.clone(),
+        },
+    }
 }
 
 /// Assembled answer of a PDF query.
@@ -224,6 +366,7 @@ impl ClusterBuilder {
                 self.node_ssds[node],
                 self.node_controllers[node],
                 self.config.compute_scale,
+                self.config.synthetic_compute_s_per_point,
                 self.config.cache_budget_bytes,
                 Arc::clone(&self.layout),
                 Arc::clone(&self.grid),
@@ -233,6 +376,7 @@ impl ClusterBuilder {
                 self.config.faults.clone(),
             )));
         }
+        let scheduler = self.config.coalesce.map(ScanScheduler::new);
         Ok(Cluster {
             config: self.config,
             dataset: self.dataset,
@@ -242,6 +386,7 @@ impl ClusterBuilder {
             lan: self.lan,
             wan: self.wan,
             nodes,
+            scheduler,
             dir: self.dir,
         })
     }
@@ -278,6 +423,9 @@ pub struct Cluster {
     lan: DeviceId,
     wan: DeviceId,
     nodes: Vec<Arc<NodeRuntime>>,
+    /// `Some` when [`ClusterConfig::coalesce`] is set: queries route
+    /// through the scan scheduler and may share atom scans.
+    scheduler: Option<ScanScheduler>,
     #[allow(dead_code)]
     dir: PathBuf,
 }
@@ -318,18 +466,9 @@ impl Cluster {
         self.config.faults.as_ref()
     }
 
-    fn subquery(&self, req: &ThresholdRequest) -> ThresholdSubquery {
-        ThresholdSubquery {
-            dataset: self.dataset.clone(),
-            raw_field: req.raw_field.clone(),
-            derived: req.derived,
-            timestep: req.timestep,
-            query_box: req.query_box,
-            threshold: req.threshold,
-            use_cache: req.use_cache,
-            mode: req.mode,
-            procs: req.procs_override.unwrap_or(self.config.procs_per_node),
-        }
+    /// Per-node worker processes for a request.
+    fn procs_for(&self, req: &ThresholdRequest) -> usize {
+        req.procs_override.unwrap_or(self.config.procs_per_node)
     }
 
     /// Applies the degradation policy to per-node outcomes (indexed by
@@ -418,11 +557,6 @@ impl Cluster {
     /// never less than any single device's total service time (devices
     /// serve *all* nodes' requests: a peer fetching halo atoms still
     /// occupies the owner's arrays and controller).
-    fn cluster_io_s(&self, results: &[NodeResult], procs: usize) -> f64 {
-        let refs: Vec<&NodeResult> = results.iter().collect();
-        self.cluster_io_ref(&refs, procs)
-    }
-
     fn cluster_io_ref(&self, results: &[&NodeResult], procs: usize) -> f64 {
         let cold: Vec<&&NodeResult> = results.iter().filter(|r| !r.cache_hit).collect();
         if cold.is_empty() {
@@ -523,20 +657,128 @@ impl Cluster {
         QueryTrace::new(root)
     }
 
+    /// Routes one query through the scan scheduler when coalescing is
+    /// configured, or runs it as a batch of one.
+    fn submit(&self, query: BatchQuery) -> StorageResult<BatchAnswer> {
+        match &self.scheduler {
+            Some(s) => s.submit(self, query),
+            None => self.run_batch(vec![query]).pop().expect("one answer"),
+        }
+    }
+
     /// Evaluates a threshold query: scatter to nodes, gather, assemble.
     /// Node outages (and deadline violations) degrade the answer instead
     /// of failing it unless [`ThresholdRequest::strict`] is set.
     pub fn get_threshold(&self, req: &ThresholdRequest) -> StorageResult<ThresholdResponse> {
+        match self.submit(BatchQuery::Threshold(req.clone()))? {
+            BatchAnswer::Threshold(r) => Ok(r),
+            _ => unreachable!("threshold query yields threshold answer"),
+        }
+    }
+
+    /// Evaluates a PDF query over the same scan machinery (paper Fig. 2).
+    pub fn get_pdf(
+        &self,
+        req: &ThresholdRequest,
+        origin: f64,
+        width: f64,
+        nbins: usize,
+    ) -> StorageResult<PdfResponse> {
+        let q = BatchQuery::Pdf {
+            req: req.clone(),
+            origin,
+            width,
+            nbins,
+        };
+        match self.submit(q)? {
+            BatchAnswer::Pdf(r) => Ok(r),
+            _ => unreachable!("pdf query yields pdf answer"),
+        }
+    }
+
+    /// Evaluates a top-k query (no caching: results are tiny but the scan
+    /// is the same as a threshold query).
+    pub fn get_topk(&self, req: &ThresholdRequest, k: usize) -> StorageResult<TopKResponse> {
+        match self.submit(BatchQuery::TopK {
+            req: req.clone(),
+            k,
+        })? {
+            BatchAnswer::TopK(r) => Ok(r),
+            _ => unreachable!("top-k query yields top-k answer"),
+        }
+    }
+
+    /// Evaluates many threshold queries as one batch: queries over the
+    /// same scan key share atom scans (each atom decoded once per group
+    /// instead of once per query), with byte-identical results.
+    pub fn get_threshold_batch(
+        &self,
+        reqs: &[ThresholdRequest],
+    ) -> Vec<StorageResult<ThresholdResponse>> {
+        self.run_batch(reqs.iter().cloned().map(BatchQuery::Threshold).collect())
+            .into_iter()
+            .map(|r| {
+                r.map(|a| match a {
+                    BatchAnswer::Threshold(t) => t,
+                    _ => unreachable!("threshold query yields threshold answer"),
+                })
+            })
+            .collect()
+    }
+
+    /// Evaluates a set of queries, sharing one atom scan per
+    /// [`ScanGroupKey`] group. Answers are positionally aligned with the
+    /// input; a per-node failure inside a group is fanned out to every
+    /// query of that group (and degraded per query by the usual policy).
+    pub fn run_batch(&self, queries: Vec<BatchQuery>) -> Vec<StorageResult<BatchAnswer>> {
         let wall = std::time::Instant::now();
-        let sub = self.subquery(req);
-        let outcomes: Vec<StorageResult<NodeResult>> = std::thread::scope(|scope| {
+        let mut answers: Vec<Option<StorageResult<BatchAnswer>>> =
+            queries.iter().map(|_| None).collect();
+        let mut groups: Vec<(ScanGroupKey, Vec<usize>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let key = ScanGroupKey::of(q.request());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        for (_, idxs) in &groups {
+            self.run_group(&queries, idxs, &mut answers, wall);
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("every query answered"))
+            .collect()
+    }
+
+    /// Runs one shared-scan group: scatter a [`SharedScanRequest`] to
+    /// every node, then assemble each participant's answer.
+    fn run_group(
+        &self,
+        queries: &[BatchQuery],
+        idxs: &[usize],
+        answers: &mut [Option<StorageResult<BatchAnswer>>],
+        wall: std::time::Instant,
+    ) {
+        let first = queries[idxs[0]].request();
+        let procs = self.procs_for(first);
+        let req = SharedScanRequest {
+            dataset: self.dataset.clone(),
+            raw_field: first.raw_field.clone(),
+            derived: first.derived,
+            timestep: first.timestep,
+            mode: first.mode,
+            procs,
+            participants: idxs.iter().map(|&i| queries[i].participant()).collect(),
+        };
+        let node_outcomes: Vec<StorageResult<Vec<SharedOutcome>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .map(|node| {
-                    let sub = sub.clone();
+                    let req = &req;
                     let nodes = &self.nodes;
-                    scope.spawn(move || node.evaluate_threshold(nodes, &sub))
+                    scope.spawn(move || node.evaluate_shared(nodes, req))
                 })
                 .collect();
             handles
@@ -544,9 +786,57 @@ impl Cluster {
                 .map(|h| h.join().expect("node thread"))
                 .collect()
         });
+        let mut per_node: Vec<StorageResult<Vec<Option<SharedOutcome>>>> = node_outcomes
+            .into_iter()
+            .map(|r| r.map(|v| v.into_iter().map(Some).collect()))
+            .collect();
+        for (j, &qi) in idxs.iter().enumerate() {
+            let outcomes: Vec<StorageResult<SharedOutcome>> = per_node
+                .iter_mut()
+                .map(|r| match r {
+                    Ok(v) => Ok(v[j].take().expect("one take per participant")),
+                    Err(e) => Err(clone_storage_error(e)),
+                })
+                .collect();
+            answers[qi] = Some(self.assemble(&queries[qi], outcomes, procs, wall));
+        }
+    }
+
+    fn assemble(
+        &self,
+        query: &BatchQuery,
+        outcomes: Vec<StorageResult<SharedOutcome>>,
+        procs: usize,
+        wall: std::time::Instant,
+    ) -> StorageResult<BatchAnswer> {
+        match query {
+            BatchQuery::Threshold(req) => self
+                .assemble_threshold(req, outcomes, procs, wall)
+                .map(BatchAnswer::Threshold),
+            BatchQuery::Pdf {
+                req,
+                origin,
+                width,
+                nbins,
+            } => self
+                .assemble_pdf(req, *origin, *width, *nbins, outcomes, procs, wall)
+                .map(BatchAnswer::Pdf),
+            BatchQuery::TopK { req, k } => self
+                .assemble_topk(req, *k, outcomes, procs, wall)
+                .map(BatchAnswer::TopK),
+        }
+    }
+
+    fn assemble_threshold(
+        &self,
+        req: &ThresholdRequest,
+        outcomes: Vec<StorageResult<SharedOutcome>>,
+        procs: usize,
+        wall: std::time::Instant,
+    ) -> StorageResult<ThresholdResponse> {
         let (mut results, node_ids, degraded) = self.degrade_filter(
             outcomes,
-            |r: &NodeResult| r.cache_lookup_s + r.io_s + r.compute_s,
+            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
             &req.query_box,
             req.strict,
             req.node_deadline_s,
@@ -554,14 +844,21 @@ impl Cluster {
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         let mut cache_hits = 0;
-        for r in &results {
-            breakdown = breakdown.max_merge(&r.breakdown());
-            cache_hits += usize::from(r.cache_hit);
+        for o in &results {
+            breakdown = breakdown.max_merge(&o.result.breakdown());
+            cache_hits += usize::from(o.result.cache_hit);
         }
-        breakdown.io_s = self.cluster_io_s(&results, sub.procs);
-        let node_points: Vec<u64> = results.iter().map(|r| r.points.len() as u64).collect();
-        for r in &mut results {
-            points.append(&mut r.points);
+        {
+            let node_results: Vec<&NodeResult> = results.iter().map(|o| &o.result).collect();
+            breakdown.io_s = self.cluster_io_ref(&node_results, procs);
+        }
+        let node_points: Vec<u64> = results
+            .iter()
+            .map(|o| o.result.points.len() as u64)
+            .collect();
+        let node_models: Vec<NodeTimeModel> = results.iter().map(|o| o.result.model).collect();
+        for o in &mut results {
+            points.append(&mut o.result.points);
         }
         points.sort_unstable_by_key(|p| p.zindex);
         let n = points.len() as u64;
@@ -574,7 +871,7 @@ impl Cluster {
             .profile(self.wan)
             .time(2, wire::xml_result_bytes(n));
         let wall_s = wall.elapsed().as_secs_f64();
-        let refs: Vec<&NodeResult> = results.iter().collect();
+        let refs: Vec<&NodeResult> = results.iter().map(|o| &o.result).collect();
         let trace = self.build_trace(
             "threshold",
             &refs,
@@ -594,51 +891,40 @@ impl Cluster {
             cache_hits,
             nodes: self.nodes.len(),
             wall_s,
+            node_models,
             trace: Some(trace),
             degraded,
         })
     }
 
-    /// Evaluates a PDF query over the same scan machinery (paper Fig. 2).
-    pub fn get_pdf(
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_pdf(
         &self,
         req: &ThresholdRequest,
         origin: f64,
         width: f64,
         nbins: usize,
+        outcomes: Vec<StorageResult<SharedOutcome>>,
+        procs: usize,
+        wall: std::time::Instant,
     ) -> StorageResult<PdfResponse> {
-        let wall = std::time::Instant::now();
-        let sub = self.subquery(req);
-        let outcomes: Vec<StorageResult<(Histogram, NodeResult)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
-                .iter()
-                .map(|node| {
-                    let sub = sub.clone();
-                    let nodes = &self.nodes;
-                    scope.spawn(move || node.evaluate_pdf(nodes, &sub, origin, width, nbins))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("node thread"))
-                .collect()
-        });
-        let (results, node_ids, degraded) = self.degrade_filter(
+        let (mut results, node_ids, degraded) = self.degrade_filter(
             outcomes,
-            |(_, r): &(Histogram, NodeResult)| r.cache_lookup_s + r.io_s + r.compute_s,
+            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
             &req.query_box,
             req.strict,
             req.node_deadline_s,
         )?;
         let mut hist = Histogram::new(origin, width, nbins);
         let mut breakdown = TimeBreakdown::default();
-        for (h, r) in &results {
-            hist.merge(h);
-            breakdown = breakdown.max_merge(&r.breakdown());
+        for o in &mut results {
+            if let Some(h) = o.histogram.take() {
+                hist.merge(&h);
+            }
+            breakdown = breakdown.max_merge(&o.result.breakdown());
         }
-        let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
-        breakdown.io_s = self.cluster_io_ref(&node_results, sub.procs);
+        let node_results: Vec<&NodeResult> = results.iter().map(|o| &o.result).collect();
+        breakdown.io_s = self.cluster_io_ref(&node_results, procs);
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
@@ -670,47 +956,38 @@ impl Cluster {
         })
     }
 
-    /// Evaluates a top-k query (no caching: results are tiny but the scan
-    /// is the same as a threshold query).
-    pub fn get_topk(&self, req: &ThresholdRequest, k: usize) -> StorageResult<TopKResponse> {
-        let wall = std::time::Instant::now();
-        let sub = self.subquery(req);
-        let outcomes: Vec<StorageResult<(Vec<ThresholdPoint>, NodeResult)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .nodes
-                    .iter()
-                    .map(|node| {
-                        let sub = sub.clone();
-                        let nodes = &self.nodes;
-                        scope.spawn(move || node.evaluate_topk(nodes, &sub, k))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("node thread"))
-                    .collect()
-            });
+    fn assemble_topk(
+        &self,
+        req: &ThresholdRequest,
+        k: usize,
+        outcomes: Vec<StorageResult<SharedOutcome>>,
+        procs: usize,
+        wall: std::time::Instant,
+    ) -> StorageResult<TopKResponse> {
         let (mut results, node_ids, degraded) = self.degrade_filter(
             outcomes,
-            |(_, r): &(Vec<ThresholdPoint>, NodeResult)| r.cache_lookup_s + r.io_s + r.compute_s,
+            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
             &req.query_box,
             req.strict,
             req.node_deadline_s,
         )?;
+        // mirror the historical per-node truncation: each node contributes
+        // at most its own top k, then the mediator keeps the global top k
         let mut points = Vec::new();
+        let mut node_points = Vec::with_capacity(results.len());
+        for o in &mut results {
+            let mut p = std::mem::take(&mut o.result.points);
+            p.sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
+            p.truncate(k);
+            node_points.push(p.len() as u64);
+            points.append(&mut p);
+        }
         let mut breakdown = TimeBreakdown::default();
-        {
-            let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
-            for r in &node_results {
-                breakdown = breakdown.max_merge(&r.breakdown());
-            }
-            breakdown.io_s = self.cluster_io_ref(&node_results, sub.procs);
+        let node_results: Vec<&NodeResult> = results.iter().map(|o| &o.result).collect();
+        for r in &node_results {
+            breakdown = breakdown.max_merge(&r.breakdown());
         }
-        let node_points: Vec<u64> = results.iter().map(|(p, _)| p.len() as u64).collect();
-        for (p, _) in &mut results {
-            points.append(p);
-        }
+        breakdown.io_s = self.cluster_io_ref(&node_results, procs);
         points.sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
         points.truncate(k);
         let n = points.len() as u64;
@@ -723,7 +1000,6 @@ impl Cluster {
             .profile(self.wan)
             .time(2, wire::xml_result_bytes(n));
         let wall_s = wall.elapsed().as_secs_f64();
-        let node_results: Vec<&NodeResult> = results.iter().map(|(_, r)| r).collect();
         let trace = self.build_trace(
             "topk",
             &node_results,

@@ -24,6 +24,7 @@ use tdb_zorder::{encode3, Box3};
 use crate::assemble::{assemble_padded, needed_atoms};
 use crate::cputime::thread_cpu_time_s;
 use crate::placement::{Chunk, Layout};
+use crate::scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
 use crate::sim::{ChunkCost, NodeTimeModel};
 use crate::timing::TimeBreakdown;
 
@@ -60,10 +61,6 @@ impl ThresholdSubquery {
     }
 }
 
-/// Per-chunk worker output: points found, modelled cost, chunk I/O
-/// session, atoms fetched.
-type ChunkOutcome = (Vec<ThresholdPoint>, ChunkCost, IoSession, u64);
-
 /// Outcome of one node's threshold subquery.
 #[derive(Debug)]
 pub struct NodeResult {
@@ -83,6 +80,9 @@ pub struct NodeResult {
     pub wall_s: f64,
     /// Atoms fetched (local + halo) while evaluating from raw data.
     pub atoms_scanned: u64,
+    /// Closed-form time model of this node's scan (zero on cache hits);
+    /// lets callers evaluate `t(p)` at any process count from one run.
+    pub model: NodeTimeModel,
     /// Device accesses of the whole subquery.
     pub session: IoSession,
 }
@@ -115,6 +115,9 @@ pub struct NodeRuntime {
     lan: DeviceId,
     controller: DeviceId,
     compute_scale: f64,
+    /// When set, replaces measured kernel CPU time with a deterministic
+    /// per-grid-point cost (seconds), making the time model load-immune.
+    synthetic_compute_s_per_point: Option<f64>,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -129,6 +132,7 @@ impl NodeRuntime {
         ssd: DeviceId,
         controller: DeviceId,
         compute_scale: f64,
+        synthetic_compute_s_per_point: Option<f64>,
         cache_budget_bytes: u64,
         layout: Arc<Layout>,
         grid: Arc<Grid3>,
@@ -157,6 +161,7 @@ impl NodeRuntime {
             lan,
             controller,
             compute_scale,
+            synthetic_compute_s_per_point,
             faults,
         }
     }
@@ -222,82 +227,245 @@ impl NodeRuntime {
         out
     }
 
-    /// Evaluates a threshold subquery (Algorithm 1 on this node).
+    /// Evaluates a threshold subquery (Algorithm 1 on this node) as a
+    /// single-participant shared scan.
     pub fn evaluate_threshold(
         &self,
         peers: &[Arc<NodeRuntime>],
         q: &ThresholdSubquery,
     ) -> StorageResult<NodeResult> {
+        let req = SharedScanRequest {
+            dataset: q.dataset.clone(),
+            raw_field: q.raw_field.clone(),
+            derived: q.derived,
+            timestep: q.timestep,
+            mode: q.mode,
+            procs: q.procs,
+            participants: vec![ScanParticipant {
+                query_box: q.query_box,
+                kernel: ScanKernel::Threshold {
+                    threshold: q.threshold,
+                },
+                use_cache: q.use_cache,
+            }],
+        };
+        let mut out = self.evaluate_shared(peers, &req)?;
+        Ok(out.pop().expect("single participant").result)
+    }
+
+    /// Evaluates a group of queries against one shared atom scan.
+    ///
+    /// Every participant's cache is probed first; the remaining misses
+    /// share one pass over this node's chunks. Per chunk the scanned
+    /// domain is the hull of all pending clips, so each atom is fetched
+    /// and each derived field evaluated exactly once, then every pending
+    /// kernel is applied over its own clip. Results are byte-identical to
+    /// independent execution (kernels are pointwise over halo stencils),
+    /// and every cache-eligible participant's entry is filled afterwards.
+    pub fn evaluate_shared(
+        &self,
+        peers: &[Arc<NodeRuntime>],
+        req: &SharedScanRequest,
+    ) -> StorageResult<Vec<SharedOutcome>> {
         self.check_available()?;
         let _active = ActiveGuard::new();
         let wall = Instant::now();
-        let mut session = IoSession::new();
-        // --- cache probe -------------------------------------------------
-        let mut cache_lookup_s = 0.0;
-        let mut healing = false;
-        if q.use_cache {
+        let key = req.cache_key();
+
+        struct Slot {
+            outcome: Option<SharedOutcome>,
+            cache_lookup_s: f64,
+            probe_session: IoSession,
+            healing: bool,
+        }
+        let mut slots: Vec<Slot> = req
+            .participants
+            .iter()
+            .map(|_| Slot {
+                outcome: None,
+                cache_lookup_s: 0.0,
+                probe_session: IoSession::new(),
+                healing: false,
+            })
+            .collect();
+
+        // --- per-participant cache probes --------------------------------
+        for (slot, part) in slots.iter_mut().zip(&req.participants) {
+            if !part.use_cache {
+                continue;
+            }
             let probe = thread_cpu_time_s();
             let mut probe_session = IoSession::new();
-            let outcome = self.cache.lookup(
-                &q.cache_key(),
-                &q.query_box,
-                q.threshold,
-                &mut probe_session,
-            );
-            cache_lookup_s =
-                (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
-            session.merge(&probe_session);
-            match outcome {
-                CacheLookup::Hit(points) => {
-                    self.report_session(&session);
-                    return Ok(NodeResult {
-                        points,
-                        cache_hit: true,
-                        cache_lookup_s,
-                        io_s: 0.0,
-                        io_serial_s: 0.0,
-                        compute_s: 0.0,
-                        wall_s: wall.elapsed().as_secs_f64(),
-                        atoms_scanned: 0,
-                        session,
-                    });
+            match &part.kernel {
+                ScanKernel::Threshold { threshold } => {
+                    let outcome =
+                        self.cache
+                            .lookup(&key, &part.query_box, *threshold, &mut probe_session);
+                    slot.cache_lookup_s = (thread_cpu_time_s() - probe).max(0.0)
+                        + probe_session.makespan(&self.registry);
+                    match outcome {
+                        CacheLookup::Hit(points) => {
+                            self.report_session(&probe_session);
+                            slot.outcome = Some(SharedOutcome {
+                                result: NodeResult {
+                                    points,
+                                    cache_hit: true,
+                                    cache_lookup_s: slot.cache_lookup_s,
+                                    io_s: 0.0,
+                                    io_serial_s: 0.0,
+                                    compute_s: 0.0,
+                                    wall_s: wall.elapsed().as_secs_f64(),
+                                    atoms_scanned: 0,
+                                    model: NodeTimeModel::default(),
+                                    session: probe_session,
+                                },
+                                histogram: None,
+                            });
+                        }
+                        // a quarantined entry falls through to the raw
+                        // evaluation, whose insert below rebuilds it
+                        CacheLookup::Quarantined => {
+                            slot.healing = true;
+                            slot.probe_session = probe_session;
+                        }
+                        CacheLookup::Miss => slot.probe_session = probe_session,
+                    }
                 }
-                // a quarantined entry falls through to the raw evaluation,
-                // whose insert below rebuilds (heals) it
-                CacheLookup::Quarantined => healing = true,
-                CacheLookup::Miss => {}
+                ScanKernel::Pdf {
+                    origin,
+                    width,
+                    nbins,
+                } => {
+                    let pdf_key = PdfKey::new(key.clone(), *origin, *width, *nbins as u32);
+                    let outcome =
+                        self.pdf_cache
+                            .lookup(&pdf_key, &part.query_box, &mut probe_session);
+                    slot.cache_lookup_s = (thread_cpu_time_s() - probe).max(0.0)
+                        + probe_session.makespan(&self.registry);
+                    if let PdfLookup::Hit(counts) = outcome {
+                        let mut hist = tdb_field::Histogram::new(*origin, *width, *nbins);
+                        hist.set_counts(&counts);
+                        self.report_session(&probe_session);
+                        slot.outcome = Some(SharedOutcome {
+                            result: NodeResult {
+                                points: Vec::new(),
+                                cache_hit: true,
+                                cache_lookup_s: slot.cache_lookup_s,
+                                io_s: 0.0,
+                                io_serial_s: 0.0,
+                                compute_s: 0.0,
+                                wall_s: wall.elapsed().as_secs_f64(),
+                                atoms_scanned: 0,
+                                model: NodeTimeModel::default(),
+                                session: probe_session,
+                            },
+                            histogram: Some(hist),
+                        });
+                    } else {
+                        slot.probe_session = probe_session;
+                    }
+                }
+                ScanKernel::TopK => {}
             }
         }
-        // --- evaluate from raw data --------------------------------------
-        let tasks = self.tasks_for(&q.query_box);
-        let results: Vec<StorageResult<ChunkOutcome>> =
-            self.run_workers(q.procs, &tasks, |domain| {
+
+        let pending: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.outcome.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            return Ok(slots.into_iter().map(|s| s.outcome.unwrap()).collect());
+        }
+
+        // --- shared scan over all pending participants -------------------
+        // per chunk, scan the hull of every pending clip so each atom is
+        // decoded once no matter how many queries need it
+        struct ScanTask {
+            domain: Box3,
+            clips: Vec<(usize, Box3)>,
+        }
+        let mut tasks: Vec<ScanTask> = Vec::new();
+        for c in &self.chunks {
+            let grid_box = c.grid_box();
+            let mut clips = Vec::new();
+            for &i in &pending {
+                if let Some(clip) = grid_box.intersect(&req.participants[i].query_box) {
+                    clips.push((i, clip));
+                }
+            }
+            if clips.is_empty() {
+                continue;
+            }
+            let mut domain = clips[0].1;
+            for (_, b) in &clips[1..] {
+                domain = domain.hull(b);
+            }
+            tasks.push(ScanTask { domain, clips });
+        }
+
+        enum SlotOut {
+            Points(Vec<ThresholdPoint>),
+            Hist(tdb_field::Histogram),
+        }
+        type TaskOutcome = (Vec<(usize, SlotOut)>, ChunkCost, IoSession, u64, u64);
+        let results: Vec<StorageResult<TaskOutcome>> =
+            self.run_workers(req.procs, &tasks, |task: &ScanTask| {
                 let mut chunk_session = IoSession::new();
-                let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
+                let atoms =
+                    self.fetch_atoms_shared(req, &task.domain, peers, &mut chunk_session)?;
                 let chunk_atoms = atoms.len() as u64;
-                let mut points = Vec::new();
+                let saved = chunk_atoms * (task.clips.len() as u64 - 1);
+                let mut outs: Vec<(usize, SlotOut)> = Vec::new();
                 let mut compute_s = 0.0;
-                if q.mode == QueryMode::Full {
+                if req.mode == QueryMode::Full {
                     let c0 = thread_cpu_time_s();
-                    let halo = q.derived.halo(&self.scheme);
+                    let halo = req.derived.halo(&self.scheme);
                     let padded = assemble_padded(
-                        &domain,
+                        &task.domain,
                         halo,
                         self.grid.dims(),
                         self.grid.periodic,
                         &atoms,
                     );
-                    let norm = q.derived.eval(
+                    let norm = req.derived.eval(
                         &padded,
                         &self.scheme,
                         [
-                            domain.lo[0] as usize,
-                            domain.lo[1] as usize,
-                            domain.lo[2] as usize,
+                            task.domain.lo[0] as usize,
+                            task.domain.lo[1] as usize,
+                            task.domain.lo[2] as usize,
                         ],
                     );
-                    points = threshold_scan(&norm, &domain, q.threshold);
-                    compute_s = (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale;
+                    for (i, clip) in &task.clips {
+                        let out = match &req.participants[*i].kernel {
+                            ScanKernel::Threshold { threshold } => SlotOut::Points(
+                                threshold_scan_clip(&norm, &task.domain, clip, *threshold),
+                            ),
+                            ScanKernel::TopK => SlotOut::Points(threshold_scan_clip(
+                                &norm,
+                                &task.domain,
+                                clip,
+                                f64::NEG_INFINITY,
+                            )),
+                            ScanKernel::Pdf {
+                                origin,
+                                width,
+                                nbins,
+                            } => {
+                                let mut hist = tdb_field::Histogram::new(*origin, *width, *nbins);
+                                pdf_scan_clip(&norm, &task.domain, clip, &mut hist);
+                                SlotOut::Hist(hist)
+                            }
+                        };
+                        outs.push((*i, out));
+                    }
+                    let measured = (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale;
+                    compute_s = match self.synthetic_compute_s_per_point {
+                        Some(rate) => task.domain.num_points() as f64 * rate,
+                        None => measured,
+                    };
                 }
                 let cost = ChunkCost {
                     io: chunk_session
@@ -306,55 +474,121 @@ impl NodeRuntime {
                         .collect(),
                     compute_s,
                 };
-                Ok((points, cost, chunk_session, chunk_atoms))
+                Ok((outs, cost, chunk_session, chunk_atoms, saved))
             });
-        let mut points = Vec::new();
+
+        let mut acc_points: Vec<Vec<ThresholdPoint>> =
+            (0..slots.len()).map(|_| Vec::new()).collect();
+        let mut acc_hist: Vec<Option<tdb_field::Histogram>> =
+            (0..slots.len()).map(|_| None).collect();
+        let mut shared_session = IoSession::new();
         let mut costs = Vec::with_capacity(results.len());
         let mut atoms_scanned = 0u64;
+        let mut atoms_saved = 0u64;
         for r in results {
-            let (p, cost, chunk_session, chunk_atoms) = r?;
-            points.extend(p);
+            let (outs, cost, chunk_session, chunk_atoms, saved) = r?;
+            for (i, out) in outs {
+                match out {
+                    SlotOut::Points(p) => acc_points[i].extend(p),
+                    SlotOut::Hist(h) => match &mut acc_hist[i] {
+                        Some(acc) => acc.merge(&h),
+                        None => acc_hist[i] = Some(h),
+                    },
+                }
+            }
             costs.push(cost);
             atoms_scanned += chunk_atoms;
-            session.merge(&chunk_session);
+            atoms_saved += saved;
+            shared_session.merge(&chunk_session);
         }
-        points.sort_unstable_by_key(|p| p.zindex);
-        // --- serial-phase timing (DESIGN.md §4) -----------------------------
+        // --- serial-phase timing (DESIGN.md §4) --------------------------
         let model = NodeTimeModel::from_costs(&costs, &self.registry);
-        // injected latency and retry backoff stall the issuing worker, so
-        // they ride on the I/O phase serially
-        let mut io_s = model.io_s(q.procs) + session.injected_delay_s;
-        let io_serial_s = model.io_serial + session.injected_delay_s;
-        let compute_phase = model.compute_s(q.procs);
-        // --- cache update --------------------------------------------------
-        if q.use_cache && q.mode == QueryMode::Full {
-            let mut insert_session = IoSession::new();
-            self.cache.insert(
-                &q.cache_key(),
-                q.query_box,
-                q.threshold,
-                &points,
-                &mut insert_session,
-            );
-            io_s += insert_session.makespan(&self.registry);
-            session.merge(&insert_session);
-            if healing {
-                tdb_obs::add("cache.semantic.rebuilt", 1);
-            }
+        if pending.len() >= 2 {
+            tdb_obs::add("scan.shared", 1);
+            tdb_obs::add("scan.coalesced_queries", (pending.len() - 1) as u64);
+            tdb_obs::add("scan.atoms_saved", atoms_saved);
         }
-        self.report_session(&session);
         tdb_obs::add("node.atoms_scanned", atoms_scanned);
-        Ok(NodeResult {
-            compute_s: compute_phase,
-            points,
-            cache_hit: false,
-            cache_lookup_s,
-            io_s,
-            io_serial_s,
-            wall_s: wall.elapsed().as_secs_f64(),
-            atoms_scanned,
-            session,
-        })
+
+        // --- per-participant assembly and cache fills --------------------
+        let mut report = IoSession::new();
+        report.merge(&shared_session);
+        for &i in &pending {
+            let part = &req.participants[i];
+            let slot = &mut slots[i];
+            let mut session = IoSession::new();
+            session.merge(&slot.probe_session);
+            session.merge(&shared_session);
+            report.merge(&slot.probe_session);
+            // injected latency and retry backoff stall the issuing worker,
+            // so they ride on the I/O phase serially
+            let mut io_s = model.io_s(req.procs) + session.injected_delay_s;
+            let io_serial_s = model.io_serial + session.injected_delay_s;
+            let mut points = std::mem::take(&mut acc_points[i]);
+            let mut histogram = None;
+            match &part.kernel {
+                ScanKernel::Threshold { threshold } => {
+                    points.sort_unstable_by_key(|p| p.zindex);
+                    if part.use_cache && req.mode == QueryMode::Full {
+                        let mut insert_session = IoSession::new();
+                        self.cache.insert(
+                            &key,
+                            part.query_box,
+                            *threshold,
+                            &points,
+                            &mut insert_session,
+                        );
+                        io_s += insert_session.makespan(&self.registry);
+                        session.merge(&insert_session);
+                        report.merge(&insert_session);
+                        if slot.healing {
+                            tdb_obs::add("cache.semantic.rebuilt", 1);
+                        }
+                    }
+                }
+                ScanKernel::TopK => points.sort_unstable_by_key(|p| p.zindex),
+                ScanKernel::Pdf {
+                    origin,
+                    width,
+                    nbins,
+                } => {
+                    let hist = acc_hist[i]
+                        .take()
+                        .unwrap_or_else(|| tdb_field::Histogram::new(*origin, *width, *nbins));
+                    if part.use_cache {
+                        let pdf_key = PdfKey::new(key.clone(), *origin, *width, *nbins as u32);
+                        let mut insert_session = IoSession::new();
+                        self.pdf_cache.insert(
+                            &pdf_key,
+                            part.query_box,
+                            hist.counts().to_vec(),
+                            &mut insert_session,
+                        );
+                        io_s += insert_session.injected_delay_s;
+                        session.merge(&insert_session);
+                        report.merge(&insert_session);
+                    }
+                    histogram = Some(hist);
+                }
+            }
+            slot.outcome = Some(SharedOutcome {
+                result: NodeResult {
+                    points,
+                    cache_hit: false,
+                    cache_lookup_s: slot.cache_lookup_s,
+                    io_s,
+                    io_serial_s,
+                    compute_s: model.compute_s(req.procs),
+                    wall_s: wall.elapsed().as_secs_f64(),
+                    atoms_scanned,
+                    model,
+                    session,
+                },
+                histogram,
+            });
+        }
+        self.report_session(&report);
+        Ok(slots.into_iter().map(|s| s.outcome.unwrap()).collect())
     }
 
     /// Mirrors a subquery's device charges into the global metrics
@@ -369,7 +603,8 @@ impl NodeRuntime {
     }
 
     /// Evaluates this node's share of a PDF (histogram) query — same scan
-    /// strategy as threshold queries (paper §4).
+    /// strategy as threshold queries (paper §4), as a single-participant
+    /// shared scan.
     pub fn evaluate_pdf(
         &self,
         peers: &[Arc<NodeRuntime>],
@@ -378,105 +613,29 @@ impl NodeRuntime {
         width: f64,
         nbins: usize,
     ) -> StorageResult<(tdb_field::Histogram, NodeResult)> {
-        self.check_available()?;
-        let wall = Instant::now();
-        // --- PDF-cache probe (paper §4: the cache "can easily be extended
-        // to cache the results of other query types") ---------------------
-        let pdf_key = PdfKey::new(q.cache_key(), origin, width, nbins as u32);
-        if q.use_cache {
-            let probe = thread_cpu_time_s();
-            let mut probe_session = IoSession::new();
-            if let PdfLookup::Hit(counts) =
-                self.pdf_cache
-                    .lookup(&pdf_key, &q.query_box, &mut probe_session)
-            {
-                let mut hist = tdb_field::Histogram::new(origin, width, nbins);
-                hist.set_counts(&counts);
-                let cache_lookup_s =
-                    (thread_cpu_time_s() - probe).max(0.0) + probe_session.makespan(&self.registry);
-                self.report_session(&probe_session);
-                let node = NodeResult {
-                    points: Vec::new(),
-                    cache_hit: true,
-                    cache_lookup_s,
-                    io_s: 0.0,
-                    io_serial_s: 0.0,
-                    compute_s: 0.0,
-                    wall_s: wall.elapsed().as_secs_f64(),
-                    atoms_scanned: 0,
-                    session: probe_session,
-                };
-                return Ok((hist, node));
-            }
-        }
-        let tasks = self.tasks_for(&q.query_box);
-        let results: Vec<StorageResult<(tdb_field::Histogram, ChunkCost, IoSession, u64)>> = self
-            .run_workers(q.procs, &tasks, |domain| {
-                let mut chunk_session = IoSession::new();
-                let atoms = self.fetch_atoms_for(q, &domain, peers, &mut chunk_session)?;
-                let chunk_atoms = atoms.len() as u64;
-                let c0 = thread_cpu_time_s();
-                let halo = q.derived.halo(&self.scheme);
-                let padded =
-                    assemble_padded(&domain, halo, self.grid.dims(), self.grid.periodic, &atoms);
-                let norm = q.derived.eval(
-                    &padded,
-                    &self.scheme,
-                    [
-                        domain.lo[0] as usize,
-                        domain.lo[1] as usize,
-                        domain.lo[2] as usize,
-                    ],
-                );
-                let mut hist = tdb_field::Histogram::new(origin, width, nbins);
-                for &v in norm.as_slice() {
-                    hist.push(f64::from(v));
-                }
-                let cost = ChunkCost {
-                    io: chunk_session
-                        .devices()
-                        .map(|(dev, a)| (dev, self.registry.profile(dev).time(a.ops, a.bytes)))
-                        .collect(),
-                    compute_s: (thread_cpu_time_s() - c0).max(0.0) * self.compute_scale,
-                };
-                Ok((hist, cost, chunk_session, chunk_atoms))
-            });
-        let mut hist = tdb_field::Histogram::new(origin, width, nbins);
-        let mut costs = Vec::new();
-        let mut session = IoSession::new();
-        let mut atoms_scanned = 0u64;
-        for r in results {
-            let (h, cost, s, chunk_atoms) = r?;
-            hist.merge(&h);
-            costs.push(cost);
-            atoms_scanned += chunk_atoms;
-            session.merge(&s);
-        }
-        if q.use_cache {
-            let mut insert_session = IoSession::new();
-            self.pdf_cache.insert(
-                &pdf_key,
-                q.query_box,
-                hist.counts().to_vec(),
-                &mut insert_session,
-            );
-            session.merge(&insert_session);
-        }
-        let model = NodeTimeModel::from_costs(&costs, &self.registry);
-        self.report_session(&session);
-        tdb_obs::add("node.atoms_scanned", atoms_scanned);
-        let node = NodeResult {
-            points: Vec::new(),
-            cache_hit: false,
-            cache_lookup_s: 0.0,
-            io_s: model.io_s(q.procs) + session.injected_delay_s,
-            io_serial_s: model.io_serial + session.injected_delay_s,
-            compute_s: model.compute_s(q.procs),
-            wall_s: wall.elapsed().as_secs_f64(),
-            atoms_scanned,
-            session,
+        let req = SharedScanRequest {
+            dataset: q.dataset.clone(),
+            raw_field: q.raw_field.clone(),
+            derived: q.derived,
+            timestep: q.timestep,
+            mode: q.mode,
+            procs: q.procs,
+            participants: vec![ScanParticipant {
+                query_box: q.query_box,
+                kernel: ScanKernel::Pdf {
+                    origin,
+                    width,
+                    nbins,
+                },
+                use_cache: q.use_cache,
+            }],
         };
-        Ok((hist, node))
+        let mut out = self.evaluate_shared(peers, &req)?;
+        let outcome = out.pop().expect("single participant");
+        let hist = outcome
+            .histogram
+            .unwrap_or_else(|| tdb_field::Histogram::new(origin, width, nbins));
+        Ok((hist, outcome.result))
     }
 
     /// This node's top-k points by derived-field norm.
@@ -488,10 +647,21 @@ impl NodeRuntime {
     ) -> StorageResult<(Vec<ThresholdPoint>, NodeResult)> {
         // a top-k over a scan is a threshold query with threshold -inf and
         // a bounded heap; reuse the full scan then truncate
-        let mut sub = q.clone();
-        sub.threshold = f64::NEG_INFINITY;
-        sub.use_cache = false;
-        let mut result = self.evaluate_threshold(peers, &sub)?;
+        let req = SharedScanRequest {
+            dataset: q.dataset.clone(),
+            raw_field: q.raw_field.clone(),
+            derived: q.derived,
+            timestep: q.timestep,
+            mode: q.mode,
+            procs: q.procs,
+            participants: vec![ScanParticipant {
+                query_box: q.query_box,
+                kernel: ScanKernel::TopK,
+                use_cache: false,
+            }],
+        };
+        let mut out = self.evaluate_shared(peers, &req)?;
+        let mut result = out.pop().expect("single participant").result;
         result
             .points
             .sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
@@ -500,20 +670,12 @@ impl NodeRuntime {
         Ok((points, result))
     }
 
-    /// Chunk domains (clipped to the query box) this node must evaluate.
-    fn tasks_for(&self, query_box: &Box3) -> Vec<Box3> {
-        self.chunks
-            .iter()
-            .filter_map(|c: &Chunk| c.grid_box().intersect(query_box))
-            .collect()
-    }
-
     /// Runs `procs` workers over the task list, collecting per-task output.
-    fn run_workers<T: Send>(
+    fn run_workers<I: Sync, T: Send>(
         &self,
         procs: usize,
-        tasks: &[Box3],
-        work: impl Fn(Box3) -> T + Sync,
+        tasks: &[I],
+        work: impl Fn(&I) -> T + Sync,
     ) -> Vec<T> {
         // the time model scales with the *requested* process count; the
         // real thread count is capped at the hardware so CPU-time
@@ -526,8 +688,8 @@ impl NodeRuntime {
             for _ in 0..procs.min(tasks.len().max(1)) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(domain) = tasks.get(i) else { break };
-                    let r = work(*domain);
+                    let Some(task) = tasks.get(i) else { break };
+                    let r = work(task);
                     out.lock().push((i, r));
                 });
             }
@@ -540,16 +702,16 @@ impl NodeRuntime {
     /// Fetches every atom a chunk domain needs: local atoms from this
     /// node's table as batched range scans, halo atoms owned by peers as
     /// one batched request per peer over the (modelled) LAN.
-    fn fetch_atoms_for(
+    fn fetch_atoms_shared(
         &self,
-        q: &ThresholdSubquery,
+        req: &SharedScanRequest,
         domain: &Box3,
         peers: &[Arc<NodeRuntime>],
         session: &mut IoSession,
     ) -> StorageResult<HashMap<u64, AtomRecord>> {
         // I/O-only probes (Fig. 8) read exactly what the full evaluation
         // reads — boundary bands included — they just skip the kernel
-        let halo = q.derived.halo(&self.scheme);
+        let halo = req.derived.halo(&self.scheme);
         let needed = needed_atoms(domain, halo, self.grid.dims(), self.grid.periodic);
         let mut by_owner: HashMap<usize, Vec<u64>> = HashMap::new();
         for atom in &needed {
@@ -562,9 +724,9 @@ impl NodeRuntime {
         for (owner, mut codes) in by_owner {
             codes.sort_unstable();
             let records = if owner == self.id {
-                self.fetch_atoms(&q.raw_field, q.timestep, &codes, session)
+                self.fetch_atoms(&req.raw_field, req.timestep, &codes, session)
             } else {
-                let r = peers[owner].fetch_atoms(&q.raw_field, q.timestep, &codes, session);
+                let r = peers[owner].fetch_atoms(&req.raw_field, req.timestep, &codes, session);
                 if let Ok(records) = &r {
                     // one LAN round-trip per peer contacted for this chunk
                     let bytes: u64 = records
@@ -582,8 +744,8 @@ impl NodeRuntime {
                         "node {owner} returned {} of {} atoms for field {} timestep {}",
                         records.len(),
                         codes.len(),
-                        q.raw_field,
-                        q.timestep
+                        req.raw_field,
+                        req.timestep
                     ),
                 });
             }
@@ -620,19 +782,44 @@ impl Drop for ActiveGuard {
 /// the threshold and can admit points a later cache hit would reject,
 /// making warm results differ from cold ones at thresholds that are not
 /// exactly representable in f32.
+#[cfg(test)]
 fn threshold_scan(norm: &ScalarField, domain: &Box3, threshold: f64) -> Vec<ThresholdPoint> {
-    let (_nx, ny, nz) = norm.dims();
+    threshold_scan_clip(norm, domain, domain, threshold)
+}
+
+/// Scans the `clip` sub-box of a norm field evaluated over `domain`.
+///
+/// In a shared scan the evaluated domain is the hull of several
+/// participants' clips; each participant only keeps points inside its own
+/// clip. The per-point values are identical to a clip-only evaluation
+/// because the kernels are pointwise over halo stencils.
+fn threshold_scan_clip(
+    norm: &ScalarField,
+    domain: &Box3,
+    clip: &Box3,
+    threshold: f64,
+) -> Vec<ThresholdPoint> {
+    let (ox, oy, oz) = (
+        (clip.lo[0] - domain.lo[0]) as usize,
+        (clip.lo[1] - domain.lo[1]) as usize,
+        (clip.lo[2] - domain.lo[2]) as usize,
+    );
+    let (cnx, cny, cnz) = (
+        (clip.hi[0] - clip.lo[0] + 1) as usize,
+        (clip.hi[1] - clip.lo[1] + 1) as usize,
+        (clip.hi[2] - clip.lo[2] + 1) as usize,
+    );
     let mut out = Vec::new();
-    for z in 0..nz {
-        for y in 0..ny {
-            let row = norm.row(y, z);
+    for z in 0..cnz {
+        for y in 0..cny {
+            let row = &norm.row(y + oy, z + oz)[ox..ox + cnx];
             for (x, &v) in row.iter().enumerate() {
                 if f64::from(v) >= threshold {
                     out.push(ThresholdPoint {
                         zindex: encode3(
-                            domain.lo[0] + x as u32,
-                            domain.lo[1] + y as u32,
-                            domain.lo[2] + z as u32,
+                            clip.lo[0] + x as u32,
+                            clip.lo[1] + y as u32,
+                            clip.lo[2] + z as u32,
                         ),
                         value: v,
                     });
@@ -641,6 +828,27 @@ fn threshold_scan(norm: &ScalarField, domain: &Box3, threshold: f64) -> Vec<Thre
         }
     }
     out
+}
+
+/// Accumulates the `clip` sub-box of an evaluated norm into a histogram.
+fn pdf_scan_clip(norm: &ScalarField, domain: &Box3, clip: &Box3, hist: &mut tdb_field::Histogram) {
+    let (ox, oy, oz) = (
+        (clip.lo[0] - domain.lo[0]) as usize,
+        (clip.lo[1] - domain.lo[1]) as usize,
+        (clip.lo[2] - domain.lo[2]) as usize,
+    );
+    let (cnx, cny, cnz) = (
+        (clip.hi[0] - clip.lo[0] + 1) as usize,
+        (clip.hi[1] - clip.lo[1] + 1) as usize,
+        (clip.hi[2] - clip.lo[2] + 1) as usize,
+    );
+    for z in 0..cnz {
+        for y in 0..cny {
+            for &v in &norm.row(y + oy, z + oz)[ox..ox + cnx] {
+                hist.push(f64::from(v));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! Shared-scan types: one atom scan serving many queries.
+//!
+//! Concurrent threshold/PDF/top-k queries over the same
+//! `(dataset, raw field, derived kernel, timestep)` read the same atoms.
+//! A [`SharedScanRequest`] groups such queries so each node decodes every
+//! atom once and evaluates all pending kernels against it. Results are
+//! byte-identical to independent execution because every kernel is a
+//! pointwise stencil: the value at a grid point depends only on its halo
+//! neighbourhood, never on the extent of the scanned domain.
+
+use tdb_cache::ThresholdPoint;
+use tdb_field::Histogram;
+use tdb_kernels::DerivedField;
+use tdb_zorder::Box3;
+
+use crate::node::{NodeResult, QueryMode};
+
+/// The per-query kernel applied to the shared scan's decoded atoms.
+#[derive(Debug, Clone)]
+pub enum ScanKernel {
+    /// All points with the derived norm at or above the threshold.
+    Threshold { threshold: f64 },
+    /// Histogram of the derived norm (PDF queries).
+    Pdf {
+        origin: f64,
+        width: f64,
+        nbins: usize,
+    },
+    /// Unbounded point collection; the caller keeps the k best
+    /// (equivalent to a threshold scan at `-inf`).
+    TopK,
+}
+
+/// One query participating in a shared scan.
+#[derive(Debug, Clone)]
+pub struct ScanParticipant {
+    /// The participant's own region; clipped per chunk during the scan.
+    pub query_box: Box3,
+    pub kernel: ScanKernel,
+    /// Whether this participant probes and fills the node caches.
+    pub use_cache: bool,
+}
+
+/// A group of queries sharing one atom scan. All participants agree on
+/// everything that shapes the scan itself; only the region, kernel and
+/// cache policy vary per participant.
+#[derive(Debug, Clone)]
+pub struct SharedScanRequest {
+    pub dataset: String,
+    pub raw_field: String,
+    pub derived: DerivedField,
+    pub timestep: u32,
+    pub mode: QueryMode,
+    /// Worker processes per node for the shared scan.
+    pub procs: usize,
+    pub participants: Vec<ScanParticipant>,
+}
+
+impl SharedScanRequest {
+    /// Cache key shared by every participant (same dataset, field and
+    /// time-step by construction).
+    pub fn cache_key(&self) -> tdb_cache::CacheInfoKey {
+        tdb_cache::CacheInfoKey {
+            dataset: self.dataset.clone(),
+            field: format!("{}/{}", self.raw_field, self.derived.name()),
+            timestep: self.timestep,
+        }
+    }
+}
+
+/// One participant's share of a node's shared-scan outcome.
+#[derive(Debug)]
+pub struct SharedOutcome {
+    /// Timing, cache status and (for point kernels) the points found.
+    pub result: NodeResult,
+    /// `Some` for [`ScanKernel::Pdf`] participants.
+    pub histogram: Option<Histogram>,
+}
+
+/// Convenience accessor for point-kernel outcomes.
+impl SharedOutcome {
+    /// Takes the points out of the outcome.
+    pub fn take_points(&mut self) -> Vec<ThresholdPoint> {
+        std::mem::take(&mut self.result.points)
+    }
+}

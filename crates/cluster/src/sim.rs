@@ -74,7 +74,7 @@ pub fn pipeline_makespan(chunks: &[ChunkCost], p: usize) -> (f64, f64) {
 ///   of disks" (§5.3);
 /// * `compute(p) = max(C/p, longest chunk)` — embarrassingly parallel
 ///   kernel work, limited only by chunk granularity.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NodeTimeModel {
     /// Strictly serial I/O schedule (one process).
     pub io_serial: f64,

@@ -162,6 +162,7 @@ impl TurbulenceService {
             wall_s,
             trace,
             degraded,
+            node_models: _,
         } = response;
         if points.len() as u64 > self.limits.max_points {
             tdb_obs::add("query.threshold.rejected", 1);
@@ -180,6 +181,69 @@ impl TurbulenceService {
             trace,
             degraded,
         })
+    }
+
+    /// Runs several threshold queries as one admitted batch: queries over
+    /// the same scan key share a single atom scan on every node (the
+    /// mediator's scan scheduler coalesces them), and each gets exactly
+    /// the answer it would have received alone.
+    pub fn get_threshold_batch(
+        &self,
+        queries: &[ThresholdQuery],
+    ) -> Vec<Result<ThresholdResult, QueryError>> {
+        // validate everything up front; invalid queries never reach the
+        // cluster but keep their slot in the result vector
+        let prepared: Vec<Result<ThresholdRequest, QueryError>> = queries
+            .iter()
+            .map(|q| {
+                let req = self.request(q);
+                self.validate(&q.raw_field, q.timestep, &req.query_box)?;
+                Ok(req)
+            })
+            .collect();
+        let valid: Vec<ThresholdRequest> = prepared
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect();
+        let mut responses = self.cluster.get_threshold_batch(&valid).into_iter();
+        prepared
+            .into_iter()
+            .map(|slot| {
+                let _req = slot?;
+                let response = responses.next().expect("one response per valid query");
+                let response = response.map_err(|e| {
+                    tdb_obs::add("query.threshold.failed", 1);
+                    QueryError::Backend(e.to_string())
+                })?;
+                let ThresholdResponse {
+                    points,
+                    breakdown,
+                    cache_hits,
+                    nodes,
+                    wall_s,
+                    trace,
+                    degraded,
+                    node_models: _,
+                } = response;
+                if points.len() as u64 > self.limits.max_points {
+                    tdb_obs::add("query.threshold.rejected", 1);
+                    return Err(QueryError::ThresholdTooLow {
+                        points: points.len() as u64,
+                        limit: self.limits.max_points,
+                    });
+                }
+                tdb_obs::add("query.threshold.ok", 1);
+                Ok(ThresholdResult {
+                    points,
+                    breakdown,
+                    cache_hits,
+                    nodes,
+                    wall_s,
+                    trace,
+                    degraded,
+                })
+            })
+            .collect()
     }
 
     /// A frozen view of every process-wide metric (buffer-pool and cache

@@ -8,6 +8,14 @@
 //! Hot paths should cache a [`Counter`]/[`Gauge`] handle (one registry
 //! lookup at construction, lock-free increments after); occasional
 //! reporters can use the [`add`]/[`observe`] free functions.
+//!
+//! Concurrency instrumentation (DESIGN.md §7) lives under three
+//! prefixes: `scan.*` (shared scans: `scan.shared`,
+//! `scan.coalesced_queries`, `scan.atoms_saved`), `scheduler.*`
+//! (cross-query coalescing: `scheduler.batches`, `scheduler.coalesced`)
+//! and `admission.*` (wire-server load control: `admission.admitted`,
+//! `admission.shed`, gauge `admission.queue_depth`, histogram
+//! `admission.wait_s`).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -1,0 +1,236 @@
+//! Admission control for the front-end server.
+//!
+//! The paper's mediator serves "a large number of simultaneous users"
+//! from a small cluster; an unbounded thread-per-connection server would
+//! let a burst of expensive scans oversubscribe the nodes and collapse
+//! every query's latency at once. The [`AdmissionQueue`] bounds the
+//! number of in-flight data queries (`max_inflight`), parks a bounded
+//! backlog (`queue_depth`) and load-sheds anything beyond it with a
+//! typed [`Busy`](crate::proto::Response::Busy) response so clients can
+//! back off and retry instead of timing out.
+//!
+//! Admission order is FIFO with fairness across connections: when a slot
+//! frees up, the waiter from the connection with the *fewest queries
+//! served so far* wins, with arrival order breaking ties. A chatty
+//! connection therefore cannot starve a quiet one by keeping the queue
+//! stuffed with its own requests.
+//!
+//! Metrics: `admission.admitted` / `admission.shed` counters, the
+//! `admission.queue_depth` gauge and the `admission.wait_s` histogram.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Sizing knobs for the admission queue.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Data queries evaluated concurrently; further ones wait.
+    pub max_inflight: usize,
+    /// Waiters parked beyond `max_inflight`; further ones are shed.
+    pub queue_depth: usize,
+    /// Suggested client back-off carried in the `Busy` response, ms.
+    pub busy_retry_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 8,
+            queue_depth: 32,
+            busy_retry_ms: 100,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    inflight: usize,
+    /// Parked waiters as `(connection, arrival_seq)`.
+    waiting: Vec<(u64, u64)>,
+    /// Arrival seqs whose slot has been handed over but not yet claimed.
+    granted: HashSet<u64>,
+    /// Queries served per connection, for the fairness rule.
+    served: HashMap<u64, u64>,
+    next_seq: u64,
+}
+
+/// The verdict for one query.
+pub enum Admission {
+    /// Run it; drop the permit when done.
+    Granted(Permit),
+    /// Shed: the queue is full. Carries the depth seen and a retry hint.
+    Busy { queue_depth: usize, retry_ms: u64 },
+}
+
+/// Bounded in-flight counter plus a fair bounded wait queue.
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    inner: Mutex<Inner>,
+    freed: Condvar,
+}
+
+impl AdmissionQueue {
+    /// A queue with the given sizing.
+    pub fn new(config: AdmissionConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config: AdmissionConfig {
+                max_inflight: config.max_inflight.max(1),
+                ..config
+            },
+            inner: Mutex::new(Inner::default()),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Asks to run one data query on behalf of `conn`. Blocks while the
+    /// queue has room, sheds with [`Admission::Busy`] when it does not.
+    pub fn admit(self: &Arc<Self>, conn: u64) -> Admission {
+        let start = Instant::now();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.inflight < self.config.max_inflight {
+            inner.inflight += 1;
+            *inner.served.entry(conn).or_default() += 1;
+            drop(inner);
+            tdb_obs::add("admission.admitted", 1);
+            tdb_obs::observe("admission.wait_s", 0.0);
+            return Admission::Granted(Permit {
+                queue: Arc::clone(self),
+            });
+        }
+        if inner.waiting.len() >= self.config.queue_depth {
+            let depth = inner.waiting.len();
+            drop(inner);
+            tdb_obs::add("admission.shed", 1);
+            return Admission::Busy {
+                queue_depth: depth,
+                retry_ms: self.config.busy_retry_ms,
+            };
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.waiting.push((conn, seq));
+        tdb_obs::global()
+            .gauge("admission.queue_depth")
+            .set(inner.waiting.len() as i64);
+        while !inner.granted.contains(&seq) {
+            inner = self.freed.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        inner.granted.remove(&seq);
+        *inner.served.entry(conn).or_default() += 1;
+        drop(inner);
+        tdb_obs::add("admission.admitted", 1);
+        tdb_obs::observe("admission.wait_s", start.elapsed().as_secs_f64());
+        Admission::Granted(Permit {
+            queue: Arc::clone(self),
+        })
+    }
+
+    fn release(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.inflight -= 1;
+        if inner.inflight < self.config.max_inflight && !inner.waiting.is_empty() {
+            // fairness: least-served connection first, arrival order as
+            // the tie-break
+            let winner = inner
+                .waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(conn, seq))| {
+                    (inner.served.get(&conn).copied().unwrap_or(0), seq)
+                })
+                .map(|(i, _)| i)
+                .expect("waiting is non-empty");
+            let (_, seq) = inner.waiting.remove(winner);
+            inner.granted.insert(seq);
+            inner.inflight += 1;
+            tdb_obs::global()
+                .gauge("admission.queue_depth")
+                .set(inner.waiting.len() as i64);
+            drop(inner);
+            self.freed.notify_all();
+        }
+    }
+}
+
+/// RAII in-flight slot; dropping it admits the next fair waiter.
+pub struct Permit {
+    queue: Arc<AdmissionQueue>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.queue.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn sheds_beyond_queue_depth() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            max_inflight: 1,
+            queue_depth: 0,
+            busy_retry_ms: 55,
+        });
+        let Admission::Granted(permit) = q.admit(0) else {
+            panic!("first query must be admitted");
+        };
+        match q.admit(1) {
+            Admission::Busy {
+                queue_depth,
+                retry_ms,
+            } => {
+                assert_eq!(queue_depth, 0);
+                assert_eq!(retry_ms, 55);
+            }
+            Admission::Granted(_) => panic!("second query must be shed"),
+        }
+        drop(permit);
+        assert!(matches!(q.admit(1), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn fairness_prefers_least_served_connection() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            max_inflight: 1,
+            queue_depth: 8,
+            busy_retry_ms: 1,
+        });
+        // connection 0 holds the only slot and has served one query
+        let Admission::Granted(first) = q.admit(0) else {
+            panic!("first query must be admitted");
+        };
+        // park A2, A3 (conn 0) then B1 (conn 1), in that arrival order
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for (conn, tag) in [(0u64, "A2"), (0, "A3"), (1, "B1")] {
+            // wait until the previous waiter is parked so arrival order
+            // is deterministic
+            let before = q.inner.lock().unwrap().waiting.len();
+            let qc = Arc::clone(&q);
+            let txc = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let Admission::Granted(p) = qc.admit(conn) else {
+                    panic!("waiter should not be shed");
+                };
+                txc.send(tag).unwrap();
+                drop(p);
+            }));
+            while q.inner.lock().unwrap().waiting.len() <= before {
+                std::thread::yield_now();
+            }
+        }
+        drop(first);
+        // B1 wins over the earlier-arrived A2/A3 (conn 1 served nothing),
+        // then A2 and A3 drain in arrival order
+        let order: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(order, ["B1", "A2", "A3"]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -60,6 +60,12 @@ fn main() {
     let rest = &args[3..];
     let result = run(&mut client, cmd, rest);
     if let Err(e) = result {
+        if let Some(tdb_wire::client::ClientError::Busy { retry_ms, .. }) =
+            e.downcast_ref::<tdb_wire::client::ClientError>()
+        {
+            eprintln!("server is at capacity; retry in ~{retry_ms} ms");
+            std::process::exit(3);
+        }
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -17,6 +17,11 @@ pub enum ClientError {
     Protocol(ProtoError),
     /// The server reported an error for this request.
     Server(String),
+    /// The server shed the query under load; retry after `retry_ms`.
+    Busy {
+        queue_depth: u64,
+        retry_ms: u64,
+    },
     /// The server answered with the wrong response kind.
     UnexpectedResponse(&'static str),
 }
@@ -27,6 +32,13 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Busy {
+                queue_depth,
+                retry_ms,
+            } => write!(
+                f,
+                "server busy (admission queue depth {queue_depth}), retry in ~{retry_ms} ms"
+            ),
             ClientError::UnexpectedResponse(kind) => {
                 write!(f, "unexpected response (wanted {kind})")
             }
@@ -99,10 +111,17 @@ impl Client {
         }
         let doc = Json::parse(line.trim_end()).map_err(|e| ProtoError(e.to_string()))?;
         let resp = Response::from_json(&doc)?;
-        if let Response::Error { message } = resp {
-            return Err(ClientError::Server(message));
+        match resp {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Busy {
+                queue_depth,
+                retry_ms,
+            } => Err(ClientError::Busy {
+                queue_depth,
+                retry_ms,
+            }),
+            other => Ok(other),
         }
-        Ok(resp)
     }
 
     /// Liveness check.

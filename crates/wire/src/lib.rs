@@ -12,11 +12,13 @@
 //! The JSON codec ([`json`]) is written in-repo (no external
 //! serialization crates) and is also used to persist experiment results.
 
+pub mod admission;
 pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionQueue, Permit};
 pub use client::Client;
 pub use json::Json;
 pub use proto::{Request, Response};

@@ -455,6 +455,12 @@ pub enum Response {
     Trace {
         trace: QueryTrace,
     },
+    /// The server shed this data query: its admission queue is full.
+    /// Retry after roughly `retry_ms` milliseconds.
+    Busy {
+        queue_depth: u64,
+        retry_ms: u64,
+    },
     Error {
         message: String,
     },
@@ -804,6 +810,14 @@ impl Response {
                 ("ok", Json::Str("trace".into())),
                 ("root", span_to_json(&trace.root)),
             ]),
+            Response::Busy {
+                queue_depth,
+                retry_ms,
+            } => Json::obj([
+                ("ok", Json::Str("busy".into())),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+                ("retry_ms", Json::Num(*retry_ms as f64)),
+            ]),
             Response::Error { message } => Json::obj([("error", Json::Str(message.clone()))]),
         }
     }
@@ -931,6 +945,10 @@ impl Response {
             }
             "trace" => Ok(Response::Trace {
                 trace: QueryTrace::new(span_from_json(field(v, "root")?)?),
+            }),
+            "busy" => Ok(Response::Busy {
+                queue_depth: u64_field(v, "queue_depth")?,
+                retry_ms: u64_field(v, "retry_ms")?,
             }),
             "points" => {
                 let values = v
@@ -1097,6 +1115,10 @@ mod tests {
         roundtrip_resp(Response::MyDbTable {
             provenance: "threshold velocity/curl_norm t=0 k=44".into(),
             points: vec![ThresholdPoint::at(1, 2, 3, 50.0)],
+        });
+        roundtrip_resp(Response::Busy {
+            queue_depth: 32,
+            retry_ms: 100,
         });
         roundtrip_resp(Response::Error {
             message: "threshold too low: 2000000 locations".into(),

@@ -14,6 +14,7 @@ use std::time::Duration;
 use tdb_core::batch::{BatchSession, JobId, JobSpec, JobState};
 use tdb_core::{QueryError, ThresholdQuery, TurbulenceService};
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionQueue};
 use crate::json::Json;
 use crate::proto::{Request, Response};
 
@@ -22,6 +23,9 @@ use crate::proto::{Request, Response};
 pub struct ServerConfig {
     /// Maximum concurrent connections (excess are refused politely).
     pub max_connections: usize,
+    /// Admission control for data queries: bounded in-flight evaluation,
+    /// a fair bounded wait queue, and `Busy` load-shedding beyond it.
+    pub admission: AdmissionConfig,
     /// MyDB quota for the server's shared batch session.
     pub mydb_quota_bytes: u64,
     /// Socket read timeout. An idle connection is closed (and counted in
@@ -41,6 +45,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_connections: 64,
+            admission: AdmissionConfig::default(),
             mydb_quota_bytes: 256 << 20,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
@@ -54,13 +59,27 @@ impl Default for ServerConfig {
 pub struct ServerState {
     pub service: Arc<TurbulenceService>,
     pub batch: BatchSession,
+    pub admission: Arc<AdmissionQueue>,
 }
 
 impl ServerState {
-    /// Builds the state with a MyDB quota.
+    /// Builds the state with a MyDB quota and default admission sizing.
     pub fn new(service: Arc<TurbulenceService>, mydb_quota_bytes: u64) -> Self {
+        Self::with_admission(service, mydb_quota_bytes, AdmissionConfig::default())
+    }
+
+    /// Builds the state with explicit admission sizing.
+    pub fn with_admission(
+        service: Arc<TurbulenceService>,
+        mydb_quota_bytes: u64,
+        admission: AdmissionConfig,
+    ) -> Self {
         let batch = BatchSession::open(Arc::clone(&service), mydb_quota_bytes);
-        Self { service, batch }
+        Self {
+            service,
+            batch,
+            admission: AdmissionQueue::new(admission),
+        }
     }
 }
 
@@ -83,7 +102,11 @@ impl Server {
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        let state = Arc::new(ServerState::new(service, config.mydb_quota_bytes));
+        let state = Arc::new(ServerState::with_admission(
+            service,
+            config.mydb_quota_bytes,
+            config.admission,
+        ));
         let handle = std::thread::spawn(move || accept_loop(listener, state, config, flag));
         Ok(Server {
             addr: local,
@@ -125,6 +148,7 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let live = Arc::new(AtomicUsize::new(0));
+    let mut next_conn: u64 = 0;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -144,13 +168,15 @@ fn accept_loop(
             continue;
         }
         live.fetch_add(1, Ordering::SeqCst);
+        let conn = next_conn;
+        next_conn += 1;
         let _ = stream.set_read_timeout(config.read_timeout);
         let _ = stream.set_write_timeout(config.write_timeout);
         let st = Arc::clone(&state);
         let counter = Arc::clone(&live);
         let max_request_bytes = config.max_request_bytes;
         std::thread::spawn(move || {
-            let _ = serve_connection(stream, &st, max_request_bytes);
+            let _ = serve_connection(stream, &st, max_request_bytes, conn);
             counter.fetch_sub(1, Ordering::SeqCst);
         });
     }
@@ -167,6 +193,7 @@ fn serve_connection(
     stream: TcpStream,
     state: &ServerState,
     max_request_bytes: usize,
+    conn: u64,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -206,14 +233,65 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line_with_state(&line, state);
+        let response = handle_line_admitted(&line, state, conn);
         writeln!(writer, "{}", response.to_json().encode())?;
         writer.flush()?;
     }
 }
 
+/// True for requests that run a data query against the cluster — the
+/// ones admission control gates. Cheap control-plane requests (ping,
+/// info, metrics, job polling, MyDB reads) always pass.
+fn is_data_query(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::GetThreshold { .. }
+            | Request::GetPdf { .. }
+            | Request::GetTopK { .. }
+            | Request::GetStats { .. }
+            | Request::GetPoints { .. }
+            | Request::GetTrace { .. }
+    )
+}
+
+/// Parses one request line, passes data queries through admission
+/// control on behalf of connection `conn`, and executes.
+pub fn handle_line_admitted(line: &str, state: &ServerState, conn: u64) -> Response {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    let request = match Request::from_json(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    if is_data_query(&request) {
+        match state.admission.admit(conn) {
+            Admission::Granted(_permit) => execute_with_state(&request, state),
+            Admission::Busy {
+                queue_depth,
+                retry_ms,
+            } => Response::Busy {
+                queue_depth: queue_depth as u64,
+                retry_ms,
+            },
+        }
+    } else {
+        execute_with_state(&request, state)
+    }
+}
+
 /// Parses one request line and executes it against a full server state
-/// (batch operations included).
+/// (batch operations included), bypassing admission control — kept for
+/// direct handler testing.
 pub fn handle_line_with_state(line: &str, state: &ServerState) -> Response {
     let doc = match Json::parse(line) {
         Ok(d) => d,

@@ -2,8 +2,12 @@
 //! evaluation, misses must fall back correctly, and the paper's
 //! warm-up / pollute / re-issue protocol (§5.2) must produce hits.
 
-use tdb_bench::test_service;
-use tdb_core::{DerivedField, ThresholdQuery};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tdb_bench::{test_service, test_service_with};
+use tdb_cluster::CoalesceConfig;
+use tdb_core::{DerivedField, ThresholdPoint, ThresholdQuery};
 
 #[test]
 fn cache_hit_answers_are_identical_to_cold_answers() {
@@ -175,6 +179,79 @@ fn pdf_queries_are_cached_too() {
     assert_eq!(sub_cold.histogram.total(), 16 * 16 * 16);
     let sub_warm = service.get_pdf(&sub, 0.0, 10.0, 9).unwrap();
     assert_eq!(sub_warm.breakdown.io_s, 0.0);
+}
+
+#[test]
+fn mid_scan_queries_never_observe_partial_cache_entries() {
+    // Snapshot isolation under the shared-scan scheduler: a writer thread
+    // repeatedly invalidates the cache entry and rebuilds it from a cold
+    // scan, while reader threads issue the same query the whole time. A
+    // reader admitted mid-rebuild must either hit the old complete entry,
+    // miss and scan for itself (possibly sharing the writer's scan), or
+    // hit the freshly completed entry — never a half-built one. Any
+    // partial entry would change the answer bytes.
+    let service = Arc::new(test_service_with("cache_snapshot", 32, 1, 2, |c| {
+        c.coalesce = Some(CoalesceConfig {
+            window_ms: 1,
+            max_batch: 4,
+        });
+    }));
+    let stats = service
+        .derived_stats("velocity", DerivedField::CurlNorm, 0)
+        .unwrap();
+    let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 2.5 * stats.rms);
+    let bits = |points: &[ThresholdPoint]| {
+        let mut v: Vec<(u64, u32)> = points
+            .iter()
+            .map(|p| (p.zindex, p.value.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let reference = bits(&service.get_threshold(&q).unwrap().points);
+    assert!(!reference.is_empty());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (service, q, reference, stop) =
+            (service.clone(), q.clone(), reference.clone(), stop.clone());
+        std::thread::spawn(move || {
+            for _ in 0..12 {
+                service
+                    .cluster()
+                    .invalidate_cache_entry("velocity", DerivedField::CurlNorm, 0);
+                service.cluster().clear_buffer_pools();
+                let r = service.get_threshold(&q).unwrap();
+                assert_eq!(bits(&r.points), reference, "writer rebuild diverged");
+            }
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let (service, q, reference, stop) =
+                (service.clone(), q.clone(), reference.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut runs = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    let r = service.get_threshold(&q).unwrap();
+                    assert_eq!(
+                        bits(&r.points),
+                        reference,
+                        "mid-scan reader observed a partial cache entry"
+                    );
+                    runs += 1;
+                }
+                runs
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    let total: u32 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(
+        total > 0,
+        "readers must have raced the writer at least once"
+    );
 }
 
 #[test]

@@ -2,11 +2,11 @@
 //! scale: scale-out is near-linear, scale-up saturates, I/O is a large
 //! share of cold queries, and cache hits collapse the total.
 
-use tdb_cluster::ClusterConfig;
+use tdb_cluster::{ClusterConfig, NodeTimeModel};
 use tdb_core::{DerivedField, QueryMode, ServiceConfig, ThresholdQuery, TurbulenceService};
 use tdb_turbgen::SyntheticDataset;
 
-fn build(nodes: usize, tag: &str) -> TurbulenceService {
+fn build_with(nodes: usize, tag: &str, synthetic: Option<f64>) -> TurbulenceService {
     // 128³ with 32³ chunks keeps the halo band a realistic fraction of the
     // data read (a 64³ grid with 16³ chunks nearly doubles every read,
     // which drowns the scaling signal the paper measures at 1024³)
@@ -18,6 +18,7 @@ fn build(nodes: usize, tag: &str) -> TurbulenceService {
             arrays_per_node: 4,
             chunk_atoms: 4,
             compute_scale: 6.0,
+            synthetic_compute_s_per_point: synthetic,
             ..ClusterConfig::default()
         },
         limits: Default::default(),
@@ -26,22 +27,50 @@ fn build(nodes: usize, tag: &str) -> TurbulenceService {
     TurbulenceService::build(config).expect("build")
 }
 
-fn cold_total(service: &TurbulenceService, procs: usize) -> f64 {
+fn build(nodes: usize, tag: &str) -> TurbulenceService {
+    // deterministic kernel-time model: the scaling assertions must not
+    // depend on how loaded the host is
+    build_with(nodes, tag, Some(2e-7))
+}
+
+/// Runs one cold scan and returns the per-node closed-form time models;
+/// `t(p)` is then evaluated from the models instead of re-running the
+/// query, so the derived speedups cannot flake on wall-clock noise.
+fn cold_models(service: &TurbulenceService) -> Vec<NodeTimeModel> {
     service.cluster().clear_buffer_pools();
     let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, 30.0)
         .without_cache()
-        .with_procs(procs);
-    let r = service.get_threshold(&q).unwrap();
-    r.breakdown.io_s + r.breakdown.compute_s
+        .with_procs(1);
+    let req = tdb_cluster::mediator::ThresholdRequest {
+        raw_field: q.raw_field.clone(),
+        derived: q.derived,
+        timestep: q.timestep,
+        query_box: tdb_zorder::Box3::grid(128, 128, 128),
+        threshold: q.threshold,
+        use_cache: false,
+        mode: QueryMode::Full,
+        procs_override: Some(1),
+        strict: false,
+        node_deadline_s: None,
+    };
+    let r = service.cluster().get_threshold(&req).unwrap();
+    assert!(r.degraded.is_none());
+    r.node_models
+}
+
+/// Cluster time at `p` processes per node: the slowest node bounds the
+/// (barrier-synchronised) scatter-gather.
+fn modelled_total(models: &[NodeTimeModel], procs: usize) -> f64 {
+    models.iter().map(|m| m.total_s(procs)).fold(0.0, f64::max)
 }
 
 #[test]
 fn scale_out_is_nearly_linear() {
-    let t1 = cold_total(&build(1, "so1"), 1);
-    let t4 = cold_total(&build(4, "so4"), 1);
+    let t1 = modelled_total(&cold_models(&build(1, "so1")), 1);
+    let t4 = modelled_total(&cold_models(&build(4, "so4")), 1);
     let speedup = t1 / t4;
-    // at this 64³ test scale the halo shell is a large fraction of each
-    // node's reads, so "near-linear" is ~2.2-3.5x; the repro harness at
+    // at this test scale the halo shell is a large fraction of each
+    // node's reads, so "near-linear" is ~2.2-4x; the repro harness at
     // 128³+ lands closer to the paper's near-perfect scaling
     assert!(
         speedup > 2.2,
@@ -52,20 +81,22 @@ fn scale_out_is_nearly_linear() {
 
 #[test]
 fn scale_up_speedup_diminishes() {
-    let service = build(4, "su");
-    let t1 = cold_total(&service, 1);
-    let t2 = cold_total(&service, 2);
-    let t8 = cold_total(&service, 8);
+    // one cold run; t(p) then comes from the per-node time models, which
+    // is both deterministic and exactly the quantity the paper's Fig. 7
+    // plots (modelled node time against worker count)
+    let models = cold_models(&build(4, "su"));
+    let t1 = modelled_total(&models, 1);
+    let t2 = modelled_total(&models, 2);
+    let t8 = modelled_total(&models, 8);
     let s2 = t1 / t2;
     let s8 = t1 / t8;
     assert!(s2 > 1.5, "2-process speedup too small: {s2:.2}");
     assert!(
-        s8 >= s2 * 0.95,
-        "more processes must not hurt: {s2:.2} → {s8:.2}"
+        s8 >= s2,
+        "more processes must not hurt the modelled time: {s2:.2} → {s8:.2}"
     );
-    // at this tiny scale the first-touch distribution of block reads over
-    // arrays varies run to run; the precise saturation shape is pinned by
-    // the NodeTimeModel unit tests and the repro harness at 128³+
+    // saturation: the per-device makespan floor and the largest single
+    // chunk bound t(8) away from linear speedup
     assert!(
         s8 < 7.5,
         "8-process speedup must saturate below linear, got {s8:.2}"
@@ -105,28 +136,35 @@ fn io_is_substantial_share_of_cold_queries() {
 
 #[test]
 fn derived_fields_cost_more_compute_than_raw_fields() {
-    // Fig. 9: Q-criterion compute > vorticity compute > magnetic (raw)
-    let service = build(2, "fieldcost");
+    // Fig. 9: Q-criterion compute > vorticity compute > magnetic (raw).
+    // This ordering IS about per-kernel cost differences, so it uses
+    // measured CPU time, not the synthetic per-point model. Contention
+    // from concurrently running tests only ever inflates a measurement,
+    // so the minimum over three runs is a stable per-kernel estimate.
+    let service = build_with(2, "fieldcost", None);
     let run = |raw: &str, derived: DerivedField| {
-        service.cluster().clear_buffer_pools();
-        let q = ThresholdQuery::whole_timestep(raw, derived, 0, 1e12).without_cache();
-        service.get_threshold(&q).unwrap().breakdown
+        let mut compute = f64::INFINITY;
+        let mut io = f64::INFINITY;
+        for _ in 0..3 {
+            service.cluster().clear_buffer_pools();
+            let q = ThresholdQuery::whole_timestep(raw, derived, 0, 1e12).without_cache();
+            let b = service.get_threshold(&q).unwrap().breakdown;
+            compute = compute.min(b.compute_s);
+            io = io.min(b.io_s);
+        }
+        (compute, io)
     };
-    let vort = run("velocity", DerivedField::CurlNorm);
-    let qcrit = run("velocity", DerivedField::QCriterion);
-    let raw = run("magnetic", DerivedField::Norm);
+    let (vort_compute, vort_io) = run("velocity", DerivedField::CurlNorm);
+    let (qcrit_compute, _) = run("velocity", DerivedField::QCriterion);
+    let (raw_compute, raw_io) = run("magnetic", DerivedField::Norm);
     assert!(
-        qcrit.compute_s > vort.compute_s,
-        "Q ({:.4}s) should out-cost vorticity ({:.4}s)",
-        qcrit.compute_s,
-        vort.compute_s
+        qcrit_compute > vort_compute,
+        "Q ({qcrit_compute:.4}s) should out-cost vorticity ({vort_compute:.4}s)"
     );
     assert!(
-        raw.compute_s < vort.compute_s,
-        "raw field ({:.4}s) should be cheapest (vort {:.4}s)",
-        raw.compute_s,
-        vort.compute_s
+        raw_compute < vort_compute,
+        "raw field ({raw_compute:.4}s) should be cheapest (vort {vort_compute:.4}s)"
     );
     // raw field needs no halo → strictly less I/O than a derived field
-    assert!(raw.io_s <= vort.io_s);
+    assert!(raw_io <= vort_io);
 }
