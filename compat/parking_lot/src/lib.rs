@@ -3,36 +3,207 @@
 //! Matches the parking_lot API surface this workspace uses: non-poisoning
 //! `Mutex` (a panicked holder does not poison the lock for everyone else)
 //! and a `Condvar` that waits on a `&mut MutexGuard`.
+//!
+//! Debug builds additionally carry a dynamic lock-order tracker (see
+//! [`lock_order`]): when enabled it maintains a per-thread stack of held
+//! locks and a global acquisition-order graph, and panics the moment an
+//! acquisition would close a cycle — turning a would-be deadlock that
+//! hangs a test into an immediate failure naming both locks. The static
+//! complement is tdb-lint's `lock-order` rule.
 
 use std::sync::PoisonError;
 
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Dynamic lock-order inversion detection (debug builds only).
+///
+/// Off by default; enabled for the whole process by the `TDB_LOCK_ORDER`
+/// environment variable (any value but `0`) or programmatically via
+/// [`force_enable`]. Every tracked acquisition records `held → acquired`
+/// edges in a global order graph; an acquisition whose reverse path
+/// already exists panics with both lock ids before blocking, so the
+/// inversion surfaces even when the other thread never arrives.
+#[cfg(debug_assertions)]
+pub mod lock_order {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex as StdMutex, Once, OnceLock, PoisonError};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static INIT: Once = Once::new();
+
+    /// Whether tracking is active for this process.
+    pub fn enabled() -> bool {
+        INIT.call_once(|| {
+            if std::env::var_os("TDB_LOCK_ORDER").is_some_and(|v| v != "0") {
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        });
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Turns tracking on regardless of the environment (test hook).
+    pub fn force_enable() {
+        INIT.call_once(|| {});
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `held → acquired-later` edges observed so far, process-wide.
+    fn graph() -> &'static StdMutex<HashMap<u64, Vec<u64>>> {
+        static GRAPH: OnceLock<StdMutex<HashMap<u64, Vec<u64>>>> = OnceLock::new();
+        GRAPH.get_or_init(|| StdMutex::new(HashMap::new()))
+    }
+
+    fn reaches(g: &HashMap<u64, Vec<u64>>, from: u64, to: u64) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            for &next in g.get(&n).into_iter().flatten() {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Called before blocking on lock `id`: panics on a re-entrant
+    /// acquisition or an order inversion, then records the new edges.
+    pub(crate) fn check_acquire(id: u64) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if held.contains(&id) {
+                panic!("lock-order: recursive acquisition of lock #{id} on one thread");
+            }
+            let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in held.iter() {
+                if reaches(&g, id, h) {
+                    panic!(
+                        "lock-order inversion: acquiring lock #{id} while holding \
+                         lock #{h}, but #{h} is elsewhere acquired while #{id} is \
+                         held — consistent global order required"
+                    );
+                }
+            }
+            for &h in held.iter() {
+                let out = g.entry(h).or_default();
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        });
+    }
+
+    /// Called once lock `id` is held.
+    pub(crate) fn acquired(id: u64) {
+        HELD.with(|held| held.borrow_mut().push(id));
+    }
+
+    /// Called when the guard of lock `id` releases (drop or condvar wait).
+    pub(crate) fn released(id: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Number of locks the calling thread currently holds (test hook).
+    pub fn held_count() -> usize {
+        HELD.with(|held| held.borrow().len())
+    }
+}
+
+#[cfg(debug_assertions)]
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Mutual exclusion without lock poisoning.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    /// Unique id for the order tracker, assigned lazily on first lock
+    /// (0 = not yet assigned) so `new` stays `const`.
+    #[cfg(debug_assertions)]
+    order_id: AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Wraps a value.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            #[cfg(debug_assertions)]
+            order_id: AtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        let order_id = self.tracked_id();
+        #[cfg(debug_assertions)]
+        if order_id != 0 {
+            lock_order::check_acquire(order_id);
         }
+        let guard = MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            order_id,
+        };
+        #[cfg(debug_assertions)]
+        if order_id != 0 {
+            lock_order::acquired(order_id);
+        }
+        guard
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// This mutex's tracker id (assigned on first use), or 0 when the
+    /// tracker is off.
+    #[cfg(debug_assertions)]
+    fn tracked_id(&self) -> u64 {
+        if !lock_order::enabled() {
+            return 0;
+        }
+        let id = self.order_id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .order_id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn tracked_id(&self) -> u64 {
+        0
     }
 }
 
@@ -43,6 +214,9 @@ impl<T: ?Sized> Mutex<T> {
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Tracker id of the owning mutex (0 = untracked).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    order_id: u64,
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
@@ -55,6 +229,15 @@ impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        if self.order_id != 0 {
+            lock_order::released(self.order_id);
+        }
     }
 }
 
@@ -71,7 +254,18 @@ impl Condvar {
     /// Blocks until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let held = guard.inner.take().expect("guard present");
+        // the wait releases the lock: the held stack must not show it as
+        // held while parked, and the re-acquisition re-checks ordering
+        #[cfg(debug_assertions)]
+        if guard.order_id != 0 {
+            lock_order::released(guard.order_id);
+        }
         let reacquired = self.0.wait(held).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        if guard.order_id != 0 {
+            lock_order::check_acquire(guard.order_id);
+            lock_order::acquired(guard.order_id);
+        }
         guard.inner = Some(reacquired);
     }
 
@@ -83,10 +277,19 @@ impl Condvar {
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
         let held = guard.inner.take().expect("guard present");
+        #[cfg(debug_assertions)]
+        if guard.order_id != 0 {
+            lock_order::released(guard.order_id);
+        }
         let (reacquired, result) = self
             .0
             .wait_timeout(held, timeout)
             .unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        if guard.order_id != 0 {
+            lock_order::check_acquire(guard.order_id);
+            lock_order::acquired(guard.order_id);
+        }
         guard.inner = Some(reacquired);
         WaitTimeoutResult(result.timed_out())
     }
@@ -164,5 +367,81 @@ mod tests {
         let mut m = Mutex::new(3);
         *m.get_mut() += 1;
         assert_eq!(m.into_inner(), 4);
+    }
+
+    #[cfg(debug_assertions)]
+    mod tracker {
+        use super::super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn inversion_panics_and_consistent_order_does_not() {
+            lock_order::force_enable();
+            let a = Arc::new(Mutex::new(0u8));
+            let b = Arc::new(Mutex::new(0u8));
+            // consistent order on another thread: a then b
+            {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                std::thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+                .join()
+                .unwrap();
+            }
+            // same order again is fine
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // reverse order must panic before blocking
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let r = std::thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            })
+            .join();
+            let err = r.expect_err("inversion must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("lock-order inversion"), "{msg}");
+        }
+
+        #[test]
+        fn recursive_acquisition_panics() {
+            lock_order::force_enable();
+            let m = Arc::new(Mutex::new(0u8));
+            let m2 = Arc::clone(&m);
+            let r = std::thread::spawn(move || {
+                let _g1 = m2.lock();
+                let _g2 = m2.lock();
+            })
+            .join();
+            assert!(r.is_err(), "self-deadlock must panic, not hang");
+        }
+
+        #[test]
+        fn condvar_wait_balances_held_stack() {
+            lock_order::force_enable();
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let waiter = std::thread::spawn(move || {
+                let (lock, cv) = &*pair2;
+                let mut ready = lock.lock();
+                while !*ready {
+                    assert_eq!(lock_order::held_count(), 1);
+                    cv.wait(&mut ready);
+                }
+                assert_eq!(lock_order::held_count(), 1);
+                drop(ready);
+                assert_eq!(lock_order::held_count(), 0);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            {
+                let (lock, cv) = &*pair;
+                *lock.lock() = true;
+                cv.notify_all();
+            }
+            waiter.join().unwrap();
+        }
     }
 }

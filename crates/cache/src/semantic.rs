@@ -276,6 +276,8 @@ impl SemanticCache {
         let ordinal = self.next_ordinal.fetch_add(1, Ordering::Relaxed);
         // checksum over the rows in zindex order — the order a lookup
         // reads them back in
+        // tdb-lint: allow(float-width) — cached rows hold the native f32
+        // field values; the threshold itself stays f64 end to end
         let mut sorted: Vec<(u64, f32)> = points.iter().map(|p| (p.zindex, p.value)).collect();
         sorted.sort_unstable_by_key(|&(z, _)| z);
         let checksum = rows_checksum(sorted.iter().copied());
@@ -298,6 +300,8 @@ impl SemanticCache {
         if let Some(plan) = &self.config.faults {
             if plan.cache_insert_corrupts(key_hash(key)) {
                 if let Some(&(z, v)) = sorted.first() {
+                    // tdb-lint: allow(float-width) — bit-flips the stored
+                    // f32 row value, not a threshold comparison
                     data_txn.put((ordinal, z), f32::from_bits(v.to_bits() ^ 0x5A5A_5A5A));
                 }
             }

@@ -218,6 +218,9 @@ fn clone_storage_error(e: &StorageError) -> StorageError {
             node: *node,
             detail: detail.clone(),
         },
+        StorageError::Internal { detail } => StorageError::Internal {
+            detail: detail.clone(),
+        },
     }
 }
 

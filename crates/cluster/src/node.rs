@@ -190,10 +190,10 @@ impl NodeRuntime {
     }
 
     /// Table for a raw field.
-    pub fn table(&self, field: &str) -> &Table {
+    pub fn table(&self, field: &str) -> StorageResult<&Table> {
         self.tables
             .get(field)
-            .unwrap_or_else(|| panic!("node {} has no field {field}", self.id))
+            .ok_or_else(|| StorageError::internal(format!("node {} has no field {field}", self.id)))
     }
 
     /// Point lookup used by peers fetching halo atoms.
@@ -203,7 +203,7 @@ impl NodeRuntime {
         key: AtomKey,
         session: &mut IoSession,
     ) -> StorageResult<Option<AtomRecord>> {
-        self.table(field).get(key, session)
+        self.table(field)?.get(key, session)
     }
 
     /// Batched halo fetch: one request for many atoms (sorted, unique
@@ -216,7 +216,7 @@ impl NodeRuntime {
         session: &mut IoSession,
     ) -> StorageResult<Vec<AtomRecord>> {
         let mut local = IoSession::new();
-        let out = self.table(field).get_many(timestep, zindexes, &mut local);
+        let out = self.table(field)?.get_many(timestep, zindexes, &mut local);
         // every request and byte the arrays serve also crosses the node's
         // shared controller, which caps how far I/O parallelises
         let (ops, bytes) = (local.total_ops(), local.total_bytes());
@@ -250,7 +250,10 @@ impl NodeRuntime {
             }],
         };
         let mut out = self.evaluate_shared(peers, &req)?;
-        Ok(out.pop().expect("single participant").result)
+        let outcome = out
+            .pop()
+            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?;
+        Ok(outcome.result)
     }
 
     /// Evaluates a group of queries against one shared atom scan.
@@ -277,6 +280,10 @@ impl NodeRuntime {
             cache_lookup_s: f64,
             probe_session: IoSession,
             healing: bool,
+        }
+        fn take_outcome(s: Slot) -> StorageResult<SharedOutcome> {
+            s.outcome
+                .ok_or_else(|| StorageError::internal("participant slot never produced an outcome"))
         }
         let mut slots: Vec<Slot> = req
             .participants
@@ -376,7 +383,7 @@ impl NodeRuntime {
             .map(|(i, _)| i)
             .collect();
         if pending.is_empty() {
-            return Ok(slots.into_iter().map(|s| s.outcome.unwrap()).collect());
+            return slots.into_iter().map(take_outcome).collect();
         }
 
         // --- shared scan over all pending participants -------------------
@@ -588,7 +595,7 @@ impl NodeRuntime {
             });
         }
         self.report_session(&report);
-        Ok(slots.into_iter().map(|s| s.outcome.unwrap()).collect())
+        slots.into_iter().map(take_outcome).collect()
     }
 
     /// Mirrors a subquery's device charges into the global metrics
@@ -631,7 +638,9 @@ impl NodeRuntime {
             }],
         };
         let mut out = self.evaluate_shared(peers, &req)?;
-        let outcome = out.pop().expect("single participant");
+        let outcome = out
+            .pop()
+            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?;
         let hist = outcome
             .histogram
             .unwrap_or_else(|| tdb_field::Histogram::new(origin, width, nbins));
@@ -661,7 +670,10 @@ impl NodeRuntime {
             }],
         };
         let mut out = self.evaluate_shared(peers, &req)?;
-        let mut result = out.pop().expect("single participant").result;
+        let mut result = out
+            .pop()
+            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?
+            .result;
         result
             .points
             .sort_unstable_by(|a, b| b.value.total_cmp(&a.value));

@@ -14,7 +14,7 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use tdb_storage::StorageResult;
+use tdb_storage::{StorageError, StorageResult};
 
 use crate::config::CoalesceConfig;
 use crate::mediator::{BatchAnswer, BatchQuery, Cluster, ScanGroupKey};
@@ -85,7 +85,12 @@ impl ScanScheduler {
                 }
             }
             // removing the batch closes it: later arrivals open the next one
-            let batch = open.remove(&key).expect("leader owns the batch");
+            let Some(batch) = open.remove(&key) else {
+                drop(open);
+                return Err(StorageError::internal(
+                    "scan-group batch vanished under its leader",
+                ));
+            };
             drop(open);
             let n = batch.entries.len();
             tdb_obs::add("scheduler.batches", 1);
@@ -98,6 +103,10 @@ impl ScanScheduler {
                 let _ = tx.send(answer);
             }
         }
-        rx.recv().expect("batch leader always delivers")
+        rx.recv().unwrap_or_else(|_| {
+            Err(StorageError::internal(
+                "batch leader dropped without delivering an answer",
+            ))
+        })
     }
 }

@@ -406,6 +406,8 @@ impl TurbulenceService {
         let mut padded = tdb_field::PaddedVector::zeros(nx, ny, nz, derived.halo(&scheme));
         padded.fill_periodic_from(&data, [0, 0, 0]);
         let norm = derived.eval(&padded, &scheme, [0, 0, 0]);
+        // tdb-lint: allow(float-width) — selects an exact f32 data value
+        // as the threshold; the widening to f64 below is lossless
         let mut values: Vec<f32> = norm.as_slice().to_vec();
         let k = ((values.len() as f64) * fraction).round() as usize;
         let k = k.clamp(1, values.len());

@@ -1,0 +1,499 @@
+//! A hand-rolled Rust lexer.
+//!
+//! Tokenises Rust source into a flat stream that tiles the input exactly
+//! (every byte belongs to exactly one token), which gives two properties
+//! the lint relies on: round-tripping (`concat(tokens) == input`, tested
+//! by proptest over the workspace's own sources) and total robustness —
+//! the lexer never panics, whatever bytes it is fed. Anything it cannot
+//! classify becomes an [`TokenKind::Unknown`] token of one character.
+//!
+//! The token model is deliberately coarse (no keyword table, numeric
+//! suffixes stay inside the literal token): the rules in
+//! [`crate::rules`] work on identifier/punct shapes, not on a full AST.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `threshold`, `f32`, `r#match`).
+    Ident,
+    /// Lifetime such as `'a` (label or loop lifetime included).
+    Lifetime,
+    /// Integer literal, suffix included (`17`, `0x5A5A`, `1_000u64`).
+    Int,
+    /// Float literal, suffix included (`1.0`, `2.5e-3`, `1.0f32`).
+    Float,
+    /// String literal: plain, raw, byte or C string, quotes included.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// `// ...` comment (newline excluded).
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character (`.`, `?`, `{`, `!`, ...).
+    Punct,
+    /// Spaces, tabs and newlines.
+    Whitespace,
+    /// A byte sequence the lexer cannot classify (kept for round-trip).
+    Unknown,
+}
+
+/// One token: kind plus byte span and 1-based starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token carries no syntax (whitespace or comment).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Tokenises `src` completely; the returned tokens tile `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        chars: src.char_indices().peekable(),
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&(start, c)) = self.chars.peek() {
+            let line = self.line;
+            let kind = self.next_kind(start, c);
+            let end = self.pos();
+            self.tokens.push(Token {
+                kind,
+                start,
+                end,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    /// Byte position just past everything consumed so far.
+    fn pos(&mut self) -> usize {
+        match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => self.src.len(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// Character after the next one, without consuming anything.
+    fn peek2(&self, from: usize) -> Option<char> {
+        let mut it = self.src[from..].chars();
+        it.next()?;
+        it.next()
+    }
+
+    fn peek3(&self, from: usize) -> Option<char> {
+        let mut it = self.src[from..].chars();
+        it.next()?;
+        it.next()?;
+        it.next()
+    }
+
+    fn next_kind(&mut self, start: usize, c: char) -> TokenKind {
+        match c {
+            c if c.is_whitespace() => {
+                while self.peek_char().is_some_and(char::is_whitespace) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            '/' => match self.peek2(start) {
+                Some('/') => {
+                    while self.peek_char().is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    TokenKind::LineComment
+                }
+                Some('*') => {
+                    self.bump(); // '/'
+                    self.bump(); // '*'
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match self.bump() {
+                            Some('*') if self.peek_char() == Some('/') => {
+                                self.bump();
+                                depth -= 1;
+                            }
+                            Some('/') if self.peek_char() == Some('*') => {
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some(_) => {}
+                            None => break, // unterminated: swallow to EOF
+                        }
+                    }
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            },
+            '"' => {
+                self.bump();
+                self.string_body();
+                TokenKind::Str
+            }
+            '\'' => self.char_or_lifetime(start),
+            c if c.is_ascii_digit() => self.number(),
+            c if is_ident_start(c) => self.ident_or_prefixed_literal(start),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Consumes a plain string body after its opening quote.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // whatever is escaped, even a quote
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, start: usize) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek_char() {
+            Some('\\') => {
+                // escaped char literal: consume escape then to closing quote
+                self.bump();
+                self.bump();
+                while self.peek_char().is_some_and(|c| c != '\'') {
+                    self.bump();
+                }
+                self.bump();
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // 'a' is a char only when a quote follows immediately;
+                // otherwise it is a lifetime ('a, 'static, loop labels)
+                if self.peek3(start) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    self.bump();
+                    while self.peek_char().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some('\'') | None => {
+                // `''` (empty, invalid Rust) or a lone quote at EOF:
+                // take what is there and keep going
+                self.bump();
+                TokenKind::Char
+            }
+            Some(_) => {
+                // punctuation char literal like '(' or '∂'
+                self.bump();
+                if self.peek_char() == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        let radix_prefix = {
+            let here = self.pos();
+            self.src[here..].starts_with("0x")
+                || self.src[here..].starts_with("0o")
+                || self.src[here..].starts_with("0b")
+        };
+        self.bump(); // first digit
+        if radix_prefix {
+            self.bump(); // x/o/b
+            while self
+                .peek_char()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        while self
+            .peek_char()
+            .is_some_and(|c| c.is_ascii_digit() || c == '_')
+        {
+            self.bump();
+        }
+        // fractional part: a dot NOT followed by another dot (range) or an
+        // identifier start (method call like `1.max(2)`)
+        if self.peek_char() == Some('.') {
+            let here = self.pos();
+            match self.peek2(here) {
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.bump(); // '.'
+                    while self
+                        .peek_char()
+                        .is_some_and(|c| c.is_ascii_digit() || c == '_')
+                    {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // exponent
+        if matches!(self.peek_char(), Some('e' | 'E')) {
+            let here = self.pos();
+            let sign = matches!(self.peek2(here), Some('+' | '-'));
+            let digit_after = if sign {
+                self.peek3(here).is_some_and(|c| c.is_ascii_digit())
+            } else {
+                self.peek2(here).is_some_and(|c| c.is_ascii_digit())
+            };
+            if digit_after {
+                float = true;
+                self.bump(); // e
+                if sign {
+                    self.bump();
+                }
+                while self
+                    .peek_char()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // suffix (f32, u64, usize, ...) stays inside the literal token
+        if self.peek_char().is_some_and(is_ident_start) {
+            let suffix_start = self.pos();
+            while self.peek_char().is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let suffix = &self.src[suffix_start..self.src.len().min(self.pos())];
+            if suffix.starts_with('f') {
+                float = true;
+            }
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    /// An identifier, or a raw/byte string it prefixes (`r"..."`,
+    /// `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, `c"..."`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self, start: usize) -> TokenKind {
+        let rest = &self.src[start..];
+        // raw identifier r#name
+        if rest.starts_with("r#") && self.peek3(start).is_some_and(is_ident_start) {
+            self.bump();
+            self.bump();
+            while self.peek_char().is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        // byte char b'x'
+        if rest.starts_with("b'") {
+            self.bump(); // b
+            self.char_or_lifetime(start + 1);
+            return TokenKind::Char;
+        }
+        // string prefixes: r, b, br, rb (non-standard but harmless), c, cr
+        for prefix in ["br", "cr", "r", "b", "c"] {
+            if let Some(after) = rest.strip_prefix(prefix) {
+                let hashes = after.len() - after.trim_start_matches('#').len();
+                if after[hashes..].starts_with('"') {
+                    for _ in 0..prefix.len() + hashes + 1 {
+                        self.bump();
+                    }
+                    if prefix.contains('r') {
+                        self.raw_string_body(hashes);
+                    } else {
+                        self.string_body();
+                    }
+                    return TokenKind::Str;
+                }
+            }
+        }
+        // plain identifier / keyword
+        self.bump();
+        while self.peek_char().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    /// Consumes a raw-string body after its opening quote: runs until a
+    /// quote followed by `hashes` hash characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let here = self.pos();
+                    let tail = &self.src[here..];
+                    if tail.chars().take(hashes).filter(|&c| c == '#').count() == hashes {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut cursor = 0;
+        for t in &toks {
+            assert_eq!(t.start, cursor, "tokens must tile the input: {src:?}");
+            rebuilt.push_str(t.text(src));
+            cursor = t.end;
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn idents_keywords_numbers() {
+        let got = kinds("fn f(x: f32) -> u64 { 1.0f32 + 0x5A_5A + 2.5e-3 }");
+        assert!(got.contains(&(TokenKind::Ident, "f32")));
+        assert!(got.contains(&(TokenKind::Float, "1.0f32")));
+        assert!(got.contains(&(TokenKind::Int, "0x5A_5A")));
+        assert!(got.contains(&(TokenKind::Float, "2.5e-3")));
+        roundtrip("fn f(x: f32) -> u64 { 1.0f32 + 0x5A_5A + 2.5e-3 }");
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let got = kinds("0..10; 1.max(2); 2.");
+        assert!(got.contains(&(TokenKind::Int, "0")));
+        assert!(got.contains(&(TokenKind::Int, "10")));
+        assert!(got.contains(&(TokenKind::Int, "1")));
+        assert!(got.contains(&(TokenKind::Ident, "max")));
+        assert!(got.contains(&(TokenKind::Float, "2.")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; 'outer: loop {} }");
+        assert!(got.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(got.contains(&(TokenKind::Char, "'x'")));
+        assert!(got.contains(&(TokenKind::Char, "'\\n'")));
+        assert!(got.contains(&(TokenKind::Lifetime, "'outer")));
+    }
+
+    #[test]
+    fn strings_raw_strings_comments() {
+        let src = r##"let s = "a\"b"; let r = r#"raw "inner" ok"#; /* outer /* nested */ done */ // tail"##;
+        let got = kinds(src);
+        assert!(got.contains(&(TokenKind::Str, r#""a\"b""#)));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("inner")));
+        roundtrip(src);
+        let trivia: Vec<_> = lex(src).into_iter().filter(Token::is_trivia).collect();
+        assert!(trivia.iter().any(|t| t.kind == TokenKind::BlockComment));
+        assert!(trivia.iter().any(|t| t.kind == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "a\nb\n  c";
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "'",
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'''''",
+            "b'",
+            "0x",
+            "1e",
+            "\u{0}\u{7f}é漢",
+            "#![no_std]\nfn é() {}",
+        ] {
+            roundtrip(src);
+        }
+    }
+}

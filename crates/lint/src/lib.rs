@@ -1,0 +1,252 @@
+//! tdb-lint: workspace-aware static analysis for ThresholDB.
+//!
+//! A self-contained lint driver (hand-rolled lexer, no syn) that walks
+//! every `.rs` file under `crates/`, `compat/` and `tests/` and runs the
+//! five domain rules in [`rules`]. Findings are diffed against a
+//! committed `lint-baseline.txt`: grandfathered findings don't block CI,
+//! new ones do. See DESIGN.md §8 for the rule catalogue, the
+//! `// tdb-lint: allow(<rule>)` pragma and the baseline workflow.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{DeclaredMetrics, Finding, RULES};
+use scan::SourceFile;
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Directories at the workspace root that are scanned.
+pub const SCAN_ROOTS: &[&str] = &["crates", "compat", "tests"];
+
+/// The outcome of one lint run.
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries no longer matched by any finding (stale; a
+    /// warning, not a failure — the fix landed, prune with
+    /// `--update-baseline`).
+    pub stale: Vec<String>,
+}
+
+impl Report {
+    /// Whether the run passes (no findings outside the baseline).
+    pub fn ok(&self) -> bool {
+        self.new.is_empty()
+    }
+}
+
+/// Loads, scans and lints every source file under the scan roots.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let text = fs::read_to_string(p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::new(rel, text));
+    }
+    Ok(lint_files(&files))
+}
+
+/// Runs every rule over an in-memory file set (the self-test entry
+/// point; `lint_workspace` goes through here too).
+pub fn lint_files(files: &[SourceFile]) -> Vec<Finding> {
+    let declared = files
+        .iter()
+        .find(|f| {
+            f.path.ends_with("crates/obs/src/declared.rs") || f.path == "crates/obs/src/declared.rs"
+        })
+        .and_then(DeclaredMetrics::parse);
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(rules::float_width(f));
+        out.extend(rules::panic_path(f));
+        out.extend(rules::error_context(f));
+    }
+    out.extend(rules::lock_order(files));
+    if let Some(declared) = &declared {
+        out.extend(rules::metrics_registry(files, declared));
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Diffs findings against the baseline. Matching is a multiset over
+/// `rule|path|trimmed-line-content` keys, so findings survive line-number
+/// drift but a *new* occurrence of an already-baselined pattern on a new
+/// line of the same file still slips through only if its line text is
+/// byte-identical (accepted trade-off; `--update-baseline` re-counts).
+pub fn apply_baseline(findings: Vec<Finding>, baseline: &[String]) -> Report {
+    let mut budget: BTreeMap<&str, usize> = BTreeMap::new();
+    for key in baseline {
+        *budget.entry(key.as_str()).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    let mut baselined = Vec::new();
+    for f in findings {
+        let key = f.baseline_key();
+        match budget.get_mut(key.as_str()) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                baselined.push(f);
+            }
+            _ => new.push(f),
+        }
+    }
+    let stale = budget
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .flat_map(|(k, n)| (0..n).map(move |_| k.to_string()))
+        .collect();
+    Report {
+        new,
+        baselined,
+        stale,
+    }
+}
+
+/// Reads the baseline file (missing file = empty baseline).
+pub fn load_baseline(root: &Path) -> io::Result<Vec<String>> {
+    let path = root.join(BASELINE_FILE);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    Ok(fs::read_to_string(path)?
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Rewrites the baseline to exactly cover `findings`.
+pub fn write_baseline(root: &Path, findings: &[Finding]) -> io::Result<()> {
+    let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+    lines.sort();
+    let mut body = String::from(
+        "# tdb-lint baseline: grandfathered findings that do not fail CI.\n\
+         # One `rule|path|trimmed-line-content` key per finding; regenerate\n\
+         # with `cargo run -p tdb-lint -- --update-baseline`. Don't add to\n\
+         # this file by hand — fix the finding or use an inline\n\
+         # `// tdb-lint: allow(<rule>)` pragma with a justification.\n",
+    );
+    for l in &lines {
+        body.push_str(l);
+        body.push('\n');
+    }
+    fs::write(root.join(BASELINE_FILE), body)
+}
+
+/// Walks upward from `start` to the directory holding the workspace
+/// `Cargo.toml` (identified by a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line_text: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line: 1,
+            rule: rule.into(),
+            message: "m".into(),
+            line_text: line_text.into(),
+        }
+    }
+
+    #[test]
+    fn baseline_is_a_multiset() {
+        let findings = vec![
+            f("panic-path", "a.rs", "x.unwrap();"),
+            f("panic-path", "a.rs", "x.unwrap();"),
+            f("panic-path", "a.rs", "y.unwrap();"),
+        ];
+        let baseline = vec!["panic-path|a.rs|x.unwrap();".to_string()];
+        let r = apply_baseline(findings, &baseline);
+        assert_eq!(r.baselined.len(), 1);
+        assert_eq!(r.new.len(), 2);
+        assert!(r.stale.is_empty());
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn stale_entries_warn_but_pass() {
+        let baseline = vec!["panic-path|gone.rs|x.unwrap();".to_string()];
+        let r = apply_baseline(Vec::new(), &baseline);
+        assert!(r.ok());
+        assert_eq!(r.stale.len(), 1);
+    }
+
+    #[test]
+    fn lint_files_runs_all_rules() {
+        let files = vec![
+            SourceFile::new(
+                "crates/obs/src/declared.rs",
+                "pub const DECLARED_METRICS: &[&str] = &[\"cache.hits\"];",
+            ),
+            SourceFile::new(
+                "crates/cache/src/a.rs",
+                "fn f(threshold: f64) { let t = threshold as f32; \
+                 tdb_obs::add(\"cache.hitz\", 1); x.unwrap(); }",
+            ),
+        ];
+        let got = lint_files(&files);
+        let rules: Vec<&str> = got.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"float-width"), "{got:?}");
+        assert!(rules.contains(&"panic-path"), "{got:?}");
+        assert!(rules.contains(&"metrics-registry"), "{got:?}");
+    }
+}

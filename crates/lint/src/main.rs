@@ -1,0 +1,106 @@
+//! CLI driver: `cargo run -p tdb-lint [-- --update-baseline]`.
+//!
+//! Exit codes: 0 = clean (modulo baseline), 1 = new findings, 2 = usage
+//! or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tdb_lint::{
+    apply_baseline, find_workspace_root, lint_workspace, load_baseline, write_baseline,
+    BASELINE_FILE,
+};
+
+fn main() -> ExitCode {
+    let mut update = false;
+    let mut verbose = false;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "tdb-lint: domain lints for the ThresholDB workspace\n\n\
+                     USAGE: cargo run -p tdb-lint [-- FLAGS]\n\n\
+                     FLAGS:\n  --update-baseline  rewrite {BASELINE_FILE} to cover current findings\n  \
+                     --verbose, -v      also list baselined findings\n  --help, -h         this help"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tdb-lint: unknown flag `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!(
+            "tdb-lint: no workspace Cargo.toml found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tdb-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        if let Err(e) = write_baseline(&root, &findings) {
+            eprintln!("tdb-lint: cannot write {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "tdb-lint: wrote {} finding(s) to {BASELINE_FILE}",
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_baseline(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("tdb-lint: cannot read {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = apply_baseline(findings, &baseline);
+
+    if verbose {
+        for f in &report.baselined {
+            println!("baselined: {}", f.render());
+        }
+    }
+    for key in &report.stale {
+        eprintln!(
+            "tdb-lint: warning: stale baseline entry (fixed? prune with --update-baseline): {key}"
+        );
+    }
+    for f in &report.new {
+        eprintln!("{}", f.render());
+    }
+    println!(
+        "tdb-lint: {} new, {} baselined, {} stale",
+        report.new.len(),
+        report.baselined.len(),
+        report.stale.len()
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tdb-lint: {} new finding(s) — fix them, add a justified \
+             `// tdb-lint: allow(<rule>)` pragma, or (for pre-existing debt) \
+             run with --update-baseline",
+            report.new.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -9,9 +9,11 @@
 //!   assembles for each threshold / PDF / top-k query, with one span per
 //!   phase plus per-node detail spans carrying structured attributes.
 
+pub mod declared;
 pub mod metrics;
 pub mod trace;
 
+pub use declared::{declared_metrics, is_declared, DECLARED_METRICS};
 pub use metrics::{
     add, global, observe, Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot,

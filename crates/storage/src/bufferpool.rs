@@ -118,7 +118,9 @@ impl<V: PoolValue> BufferPool<V> {
         inner.blocks.insert(key, (data.clone(), now));
         inner.lru.insert(now, key);
         while inner.used_bytes > inner.capacity_bytes && inner.blocks.len() > 1 {
-            let (&oldest, &victim) = inner.lru.iter().next().expect("lru nonempty");
+            let Some((&oldest, &victim)) = inner.lru.iter().next() else {
+                break;
+            };
             inner.lru.remove(&oldest);
             if let Some((evicted, _)) = inner.blocks.remove(&victim) {
                 inner.used_bytes -= evicted.weight();

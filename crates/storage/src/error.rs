@@ -32,6 +32,10 @@ pub enum StorageError {
     },
     /// A whole database node is out of service.
     NodeUnavailable { node: usize, detail: String },
+    /// A broken internal invariant (a bug, not an environmental failure):
+    /// surfaced as a typed error so one bad query fails cleanly over the
+    /// wire instead of panicking its handler thread.
+    Internal { detail: String },
 }
 
 impl StorageError {
@@ -68,6 +72,32 @@ impl StorageError {
             other => other,
         }
     }
+
+    /// A broken-invariant error (the typed replacement for `panic!` /
+    /// `.expect()` on the query path).
+    pub fn internal(detail: impl Into<String>) -> Self {
+        StorageError::Internal {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Attaches file context to `io::Error` results at the propagation site:
+/// `file.read_exact_at(..).at_file(&self.path)?`. The `error-context`
+/// lint requires one of these (or an explicit `map_err`) on every
+/// `io::Error` that crosses `?` in tdb-storage.
+pub trait IoResultExt<T> {
+    /// Converts the `io::Error` into [`StorageError::Io`] carrying `file`.
+    fn at_file(self, file: impl AsRef<str>) -> StorageResult<T>;
+}
+
+impl<T> IoResultExt<T> for Result<T, std::io::Error> {
+    fn at_file(self, file: impl AsRef<str>) -> StorageResult<T> {
+        self.map_err(|source| StorageError::Io {
+            file: file.as_ref().to_string(),
+            source,
+        })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -102,6 +132,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::NodeUnavailable { node, detail } => {
                 write!(f, "node {node} unavailable: {detail}")
+            }
+            StorageError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
             }
         }
     }
@@ -181,6 +214,17 @@ mod tests {
             detail: "d".into()
         }
         .is_transient());
+    }
+
+    #[test]
+    fn at_file_and_internal() {
+        let r: Result<(), std::io::Error> =
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = r.at_file("node1/p_2.tdb").unwrap_err();
+        assert!(e.to_string().contains("node1/p_2.tdb"));
+        let e = StorageError::internal("slots drained twice");
+        assert!(e.to_string().contains("slots drained twice"));
+        assert!(!e.is_transient() && !e.is_unavailable());
     }
 
     #[test]

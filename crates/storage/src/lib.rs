@@ -33,7 +33,7 @@ pub mod table;
 pub use block::checksum;
 pub use bufferpool::BufferPool;
 pub use device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
-pub use error::{StorageError, StorageResult};
+pub use error::{IoResultExt, StorageError, StorageResult};
 pub use faults::{BlockReadFault, FaultCounts, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use mvcc::{CommitError, MvccStore, Txn};
 pub use record::{AtomKey, AtomRecord};

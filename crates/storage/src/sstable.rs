@@ -18,7 +18,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::block::{decode_block, encode_block, TARGET_BLOCK_BYTES};
 use crate::bufferpool::{BlockKey, BufferPool, PoolValue};
 use crate::device::{DeviceId, IoSession};
-use crate::error::{StorageError, StorageResult};
+use crate::error::{IoResultExt, StorageError, StorageResult};
 use crate::faults::FaultPlan;
 use crate::record::{AtomKey, AtomRecord};
 
@@ -73,7 +73,7 @@ impl PartitionWriter {
     /// Creates (truncates) the partition file.
     pub fn create(path: impl AsRef<Path>, ncomp: u8) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::create(&path)?;
+        let file = File::create(&path).at_file(path.display().to_string())?;
         Ok(Self {
             file,
             path,
@@ -114,10 +114,14 @@ impl PartitionWriter {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let first = self.pending.first().expect("nonempty").key;
-        let last = self.pending.last().expect("nonempty").key;
+        let (Some(first), Some(last)) = (self.pending.first(), self.pending.last()) else {
+            return Ok(());
+        };
+        let (first, last) = (first.key, last.key);
         let blk = encode_block(&self.pending);
-        self.file.write_all(&blk)?;
+        self.file
+            .write_all(&blk)
+            .at_file(self.path.display().to_string())?;
         self.fences.push(Fence {
             first,
             last,
@@ -144,8 +148,9 @@ impl PartitionWriter {
         footer.put_u8(self.ncomp);
         footer.put_u64(self.offset); // start of footer
         footer.put_u32(FOOTER_MAGIC);
-        self.file.write_all(&footer)?;
-        self.file.sync_all()?;
+        let path_str = self.path.display().to_string();
+        self.file.write_all(&footer).at_file(&path_str)?;
+        self.file.sync_all().at_file(&path_str)?;
         Ok(self.path)
     }
 }
@@ -172,8 +177,8 @@ impl PartitionReader {
         pool: Arc<BlockCache>,
     ) -> StorageResult<Self> {
         let path_str = path.as_ref().display().to_string();
-        let mut file = File::open(&path)?;
-        let total = file.seek(SeekFrom::End(0))?;
+        let mut file = File::open(&path).at_file(&path_str)?;
+        let total = file.seek(SeekFrom::End(0)).at_file(&path_str)?;
         if total < 17 {
             return Err(StorageError::Corrupt {
                 file: path_str,
@@ -181,7 +186,8 @@ impl PartitionReader {
             });
         }
         let mut trailer = [0u8; 17];
-        file.read_exact_at(&mut trailer, total - 17)?;
+        file.read_exact_at(&mut trailer, total - 17)
+            .at_file(&path_str)?;
         let mut t = &trailer[..];
         let nfences = t.get_u32() as usize;
         let ncomp = t.get_u8();
@@ -201,7 +207,8 @@ impl PartitionReader {
                 detail: "footer geometry inconsistent".into(),
             })?;
         let mut buf = vec![0u8; fence_bytes];
-        file.read_exact_at(&mut buf, footer_start)?;
+        file.read_exact_at(&mut buf, footer_start)
+            .at_file(&path_str)?;
         let mut b = Bytes::from(buf);
         let mut fences = Vec::with_capacity(nfences);
         for _ in 0..nfences {
@@ -316,7 +323,9 @@ impl PartitionReader {
             }
         }
         let mut buf = vec![0u8; fence.len as usize];
-        self.file.read_exact_at(&mut buf, fence.offset)?;
+        self.file
+            .read_exact_at(&mut buf, fence.offset)
+            .at_file(&self.path)?;
         s.charge(self.device, 1, u64::from(fence.len));
         let records = decode_block(Bytes::from(buf), &self.path)?;
         Ok(DecodedBlock {

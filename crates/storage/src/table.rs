@@ -12,7 +12,7 @@ use std::sync::Arc;
 use tdb_zorder::ZRange;
 
 use crate::device::{DeviceId, IoSession};
-use crate::error::{StorageError, StorageResult};
+use crate::error::{IoResultExt, StorageError, StorageResult};
 use crate::record::{AtomKey, AtomRecord};
 use crate::sstable::BlockCache;
 use crate::sstable::{PartitionReader, PartitionWriter};
@@ -46,7 +46,7 @@ impl TableBuilder {
             "partition z-ranges must be sorted and disjoint"
         );
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(dir).at_file(dir.display().to_string())?;
         let mut writers = Vec::with_capacity(zones.len());
         let mut paths = Vec::with_capacity(zones.len());
         let mut devs = Vec::with_capacity(zones.len());

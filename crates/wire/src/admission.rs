@@ -132,7 +132,7 @@ impl AdmissionQueue {
         if inner.inflight < self.config.max_inflight && !inner.waiting.is_empty() {
             // fairness: least-served connection first, arrival order as
             // the tie-break
-            let winner = inner
+            let Some(winner) = inner
                 .waiting
                 .iter()
                 .enumerate()
@@ -140,7 +140,9 @@ impl AdmissionQueue {
                     (inner.served.get(&conn).copied().unwrap_or(0), seq)
                 })
                 .map(|(i, _)| i)
-                .expect("waiting is non-empty");
+            else {
+                return;
+            };
             let (_, seq) = inner.waiting.remove(winner);
             inner.granted.insert(seq);
             inner.inflight += 1;

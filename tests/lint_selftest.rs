@@ -1,0 +1,235 @@
+//! Self-test corpus for tdb-lint: one known-bad snippet per rule proving
+//! the rule fires, pragma/test-code suppression checks, and property
+//! tests that the hand-rolled lexer never panics on arbitrary bytes and
+//! exactly round-trips every source file in this workspace.
+
+use proptest::prelude::*;
+use tdb_lint::lexer::lex;
+use tdb_lint::rules::{self, DeclaredMetrics};
+use tdb_lint::scan::SourceFile;
+
+// --- one known-bad snippet per rule --------------------------------------
+
+#[test]
+fn float_width_fires_on_f32_threshold_comparison() {
+    let f = SourceFile::new(
+        "crates/core/src/bad.rs",
+        r#"
+fn above_threshold(values: &[f64], threshold: f64) -> usize {
+    let t = threshold as f32;
+    values.iter().filter(|&&v| v as f32 >= t).count()
+}
+"#,
+    );
+    let got = rules::float_width(&f);
+    assert_eq!(got.len(), 2, "both f32 casts must be flagged: {got:?}");
+    assert!(got.iter().all(|f| f.rule == "float-width"));
+    assert!(got[0].message.contains("threshold"));
+}
+
+#[test]
+fn lock_order_fires_on_inverted_acquisition() {
+    let a = SourceFile::new(
+        "crates/cluster/src/bad_a.rs",
+        "fn f(&self) { let s = self.stats.lock(); let q = self.queue.lock(); }",
+    );
+    let b = SourceFile::new(
+        "crates/cluster/src/bad_b.rs",
+        "fn g(&self) { let q = self.queue.lock(); let s = self.stats.lock(); }",
+    );
+    let got = rules::lock_order(&[a, b]);
+    assert!(
+        got.iter()
+            .any(|f| f.rule == "lock-order" && f.message.contains("cycle")),
+        "inverted acquisition order must be flagged: {got:?}"
+    );
+}
+
+#[test]
+fn lock_order_fires_on_guard_held_across_channel_wait() {
+    let f = SourceFile::new(
+        "crates/wire/src/bad.rs",
+        "fn f(&self) { let g = self.state.lock(); let answer = rx.recv(); }",
+    );
+    let got = rules::lock_order(std::slice::from_ref(&f));
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].message.contains("recv"));
+}
+
+#[test]
+fn panic_path_fires_on_unwrap_expect_panic_and_indexing() {
+    let f = SourceFile::new(
+        "crates/wire/src/bad.rs",
+        r#"
+fn handle(frames: Vec<Frame>, i: usize) -> Frame {
+    let head = frames.first().unwrap();
+    let tail = frames.last().expect("nonempty");
+    if i > frames.len() {
+        panic!("out of range");
+    }
+    let _ = (head, tail);
+    frames[i]
+}
+"#,
+    );
+    let got = rules::panic_path(&f);
+    assert_eq!(got.len(), 4, "unwrap, expect, panic! and [i]: {got:?}");
+}
+
+#[test]
+fn metrics_registry_fires_in_both_directions() {
+    let declared = DeclaredMetrics::from_list(&["cache.hits", "io.ops.*", "orphan.metric"]);
+    let f = SourceFile::new(
+        "crates/cache/src/bad.rs",
+        r#"
+fn report(reg: &Registry, name: &str) {
+    tdb_obs::add("cache.hits", 1);
+    tdb_obs::add("cache.hitz", 1);
+    reg.add(&format!("io.ops.{name}"), 2);
+}
+"#,
+    );
+    let got = rules::metrics_registry(std::slice::from_ref(&f), &declared);
+    assert!(
+        got.iter().any(|f| f.message.contains("cache.hitz")),
+        "undeclared name must be flagged: {got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains("orphan.metric")),
+        "declared-but-unreported name must be flagged: {got:?}"
+    );
+    assert_eq!(got.len(), 2, "declared names must not be flagged: {got:?}");
+}
+
+#[test]
+fn error_context_fires_on_bare_io_question_mark() {
+    let f = SourceFile::new(
+        "crates/storage/src/bad.rs",
+        r#"
+fn load(&mut self) -> StorageResult<()> {
+    self.file.read_exact_at(&mut self.buf, 0)?;
+    Ok(())
+}
+"#,
+    );
+    let got = rules::error_context(&f);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].message.contains("read_exact_at"));
+
+    let fixed = SourceFile::new(
+        "crates/storage/src/good.rs",
+        r#"
+fn load(&mut self) -> StorageResult<()> {
+    self.file.read_exact_at(&mut self.buf, 0).at_file(&self.path)?;
+    Ok(())
+}
+"#,
+    );
+    assert!(rules::error_context(&fixed).is_empty());
+}
+
+// --- suppression ----------------------------------------------------------
+
+#[test]
+fn pragma_and_test_code_suppress_findings() {
+    let pragma = SourceFile::new(
+        "crates/wire/src/ok.rs",
+        "fn f(v: Vec<u8>) -> u8 {\n    // tdb-lint: allow(panic-path) — length checked by caller\n    v[0]\n}\n",
+    );
+    assert!(
+        rules::panic_path(&pragma).is_empty(),
+        "pragma must suppress"
+    );
+
+    let test_code = SourceFile::new(
+        "crates/wire/src/ok.rs",
+        "#[cfg(test)]\nmod tests {\n    fn f(v: Vec<u8>) -> u8 { v.first().copied().unwrap() }\n}\n",
+    );
+    assert!(
+        rules::panic_path(&test_code).is_empty(),
+        "test code is exempt"
+    );
+
+    let test_file = SourceFile::new("tests/anything.rs", "fn f(v: Vec<u8>) -> u8 { v[0] }");
+    assert!(
+        rules::panic_path(&test_file).is_empty(),
+        "tests/ files are exempt"
+    );
+}
+
+// --- lexer properties ------------------------------------------------------
+
+/// Tokens must tile the input exactly: concatenating every token's text
+/// reproduces the source byte for byte.
+fn assert_round_trip(src: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut pos = 0;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "token gap/overlap at byte {pos}");
+        rebuilt.push_str(t.text(src));
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover the whole input");
+    assert_eq!(rebuilt, src);
+}
+
+#[test]
+fn lexer_round_trips_every_workspace_source() {
+    let root = tdb_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let mut checked = 0;
+    for top in tdb_lint::SCAN_ROOTS {
+        let dir = root.join(top);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).expect("readable dir") {
+                let path = entry.expect("dir entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let src = std::fs::read_to_string(&path).expect("readable source");
+                    assert_round_trip(&src);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 50,
+        "expected a real workspace, saw {checked} files"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer must never panic and must round-trip on arbitrary bytes
+    /// (valid UTF-8 via lossy conversion — the driver reads files as
+    /// strings, so that is the real input domain).
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_round_trip(&src);
+    }
+
+    /// Same property over inputs biased toward Rust-ish trouble: quote
+    /// and hash runs, half-open strings, raw-string prefixes, nested
+    /// comment openers.
+    #[test]
+    fn lexer_never_panics_on_adversarial_fragments(
+        picks in prop::collection::vec(0usize..12, 0..64),
+    ) {
+        const FRAGMENTS: &[&str] = &[
+            "r#\"", "\"", "'", "b'", "/*", "*/", "//", "r##", "0x", "1.",
+            "'a", "\\",
+        ];
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_round_trip(&src);
+    }
+}
