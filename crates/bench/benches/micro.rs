@@ -185,6 +185,45 @@ fn mvcc(c: &mut Criterion) {
     g.finish();
 }
 
+fn threshold_scan(c: &mut Criterion) {
+    use tdb_kernels::scan::{threshold_scan_clip, threshold_scan_clip_scalar, ScanHit};
+    use tdb_zorder::Box3;
+    let n = 64;
+    let grid = Grid3::periodic_cube(n, std::f64::consts::TAU);
+    let h = std::f64::consts::TAU / n as f64;
+    let mk = |p: f64| {
+        ScalarField::from_fn(n, n, n, move |x, y, z| {
+            ((h * x as f64 + p).sin() * (h * y as f64).cos() + (h * z as f64 * 2.0).sin()) as f32
+        })
+    };
+    let v = VectorField::from_components([mk(0.0), mk(1.0), mk(2.0)]);
+    let scheme = DiffScheme::new(&grid, FdOrder::O4);
+    let mut padded = PaddedVector::zeros(n, n, n, scheme.halo());
+    padded.fill_periodic_from(&v, [0, 0, 0]);
+    let norm = DerivedField::CurlNorm.eval(&padded, &scheme, [0, 0, 0]);
+    let domain = Box3::new([0, 0, 0], [n as u32 - 1, n as u32 - 1, n as u32 - 1]);
+    // high threshold: the compare-bound regime the chunked scan targets
+    let thr = 6.0;
+    let mut g = c.benchmark_group("threshold_scan_64cubed");
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    let mut out: Vec<ScanHit> = Vec::new();
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            out.clear();
+            threshold_scan_clip_scalar(&norm, &domain, &domain, thr, &mut out);
+            out.len()
+        })
+    });
+    g.bench_function("chunked", |b| {
+        b.iter(|| {
+            out.clear();
+            threshold_scan_clip(&norm, &domain, &domain, thr, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
 fn buffer_pool(c: &mut Criterion) {
     use tdb_storage::bufferpool::{BlockKey, BufferPool};
     let pool: BufferPool = BufferPool::new(64 << 20);
@@ -222,6 +261,62 @@ fn buffer_pool(c: &mut Criterion) {
     g.finish();
 }
 
+/// Zipf-trace replay against each eviction policy: same access stream,
+/// pool sized to a quarter of the key universe, so the hit rate measures
+/// the policy itself (see `cargo bench --bench hotpath` for absolute
+/// hit-rate numbers written to the BENCH_<date>.json trend file).
+fn buffer_pool_policies(c: &mut Criterion) {
+    use tdb_storage::bufferpool::{BlockKey, BufferPool};
+    use tdb_storage::EvictionPolicyKind;
+    const BLOCK: usize = 4096;
+    let universe = 1024usize;
+    // precompute the zipf(s≈1) trace once: inverse-CDF over an xorshift
+    let trace: Vec<u32> = {
+        let mut cdf = Vec::with_capacity(universe);
+        let mut total = 0.0;
+        for i in 0..universe {
+            total += 1.0 / ((i + 1) as f64).powf(0.99);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let mut state = 0x7db2026u64;
+        (0..16_384)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                cdf.partition_point(|&cc| cc < u) as u32
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("buffer_pool_zipf");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in EvictionPolicyKind::all() {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let pool: BufferPool = BufferPool::with_policy(universe / 4 * BLOCK, kind, None);
+                let mut s = tdb_storage::IoSession::new();
+                for &block_no in &trace {
+                    pool.get_or_load(
+                        BlockKey {
+                            file_id: 0,
+                            block_no,
+                        },
+                        &mut s,
+                        |_| Ok(bytes::Bytes::from(vec![0u8; BLOCK])),
+                    )
+                    .unwrap();
+                }
+                s.pool_hits
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     morton,
@@ -230,6 +325,8 @@ criterion_group!(
     fof,
     wire_json,
     mvcc,
-    buffer_pool
+    threshold_scan,
+    buffer_pool,
+    buffer_pool_policies
 );
 criterion_main!(benches);

@@ -147,6 +147,12 @@ fn main() {
     } else {
         println!("(metrics snapshot written to {mpath})");
     }
+    // repro_metrics.json is overwritten every run; the dated trend file
+    // keeps one snapshot per day so regressions stay visible in history
+    match tdb_bench::merge_into_trend("repro_metrics", metrics_doc) {
+        Ok(tpath) => println!("(trend snapshot merged into {tpath})"),
+        Err(e) => eprintln!("could not write trend file: {e}"),
+    }
 }
 
 fn build_service(grid_n: usize, timesteps: u32, nodes: usize, tag: &str) -> TurbulenceService {

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use tdb_storage::device::{DeviceId, IoSession};
 use tdb_storage::faults::FaultPlan;
 use tdb_storage::mvcc::{CommitError, MvccStore};
-use tdb_zorder::{decode3, encode3, Box3};
+use tdb_zorder::{decode3, encode3, Box3, MortonBlockDecoder};
 
 use crate::stats::CacheStats;
 
@@ -166,15 +166,19 @@ impl SemanticCache {
             tdb_obs::add("cache.semantic.quarantined", 1);
             return CacheLookup::Quarantined;
         }
-        let mut points: Vec<ThresholdPoint> = rows
+        // Rows arrive in zindex order, so consecutive points usually share
+        // an 8³ atom: the block decoder re-derives the atom base only when
+        // the run crosses an atom boundary, instead of de-interleaving all
+        // 63 bits per point.
+        let mut decoder = MortonBlockDecoder::default();
+        let points: Vec<ThresholdPoint> = rows
             .into_iter()
             .filter_map(|((_, zindex), value)| {
-                let p = ThresholdPoint { zindex, value };
-                let (x, y, z) = p.coords();
-                (f64::from(value) >= threshold && query_box.contains_point(x, y, z)).then_some(p)
+                let (x, y, z) = decoder.decode(zindex);
+                (f64::from(value) >= threshold && query_box.contains_point(x, y, z))
+                    .then_some(ThresholdPoint { zindex, value })
             })
             .collect();
-        points.sort_unstable_by_key(|p| p.zindex);
         self.touch(key);
         self.stats.lock().hits += 1;
         tdb_obs::add("cache.semantic.hits", 1);

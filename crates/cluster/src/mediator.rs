@@ -281,7 +281,7 @@ impl ClusterBuilder {
         let lan = registry.register(DeviceProfile::lan());
         let wan = registry.register(DeviceProfile::user_wan());
         let dir = dir.as_ref().to_path_buf();
-        let mut builders = Vec::with_capacity(config.num_nodes);
+        let mut builders: Vec<HashMap<String, TableBuilder>> = Vec::with_capacity(config.num_nodes);
         let mut pools = Vec::with_capacity(config.num_nodes);
         let mut node_ssds = Vec::with_capacity(config.num_nodes);
         let mut node_controllers = Vec::with_capacity(config.num_nodes);
@@ -301,8 +301,9 @@ impl ClusterBuilder {
                 );
             }
             builders.push(per_field);
-            pools.push(Arc::new(BlockCache::with_faults(
+            pools.push(Arc::new(BlockCache::with_policy(
                 config.bufferpool_bytes,
+                config.eviction,
                 config.faults.clone(),
             )));
         }
@@ -331,7 +332,7 @@ impl ClusterBuilder {
         ncomp: u8,
         extract: impl Fn(AtomCoord) -> Vec<f32> + Sync,
     ) -> StorageResult<()> {
-        for node in 0..self.config.num_nodes {
+        for (node, per_field) in self.builders.iter_mut().enumerate() {
             let zones = self.layout.zranges_of_node(node);
             let mut records = Vec::new();
             for zr in zones {
@@ -341,9 +342,9 @@ impl ClusterBuilder {
                     records.push(rec);
                 }
             }
-            self.builders[node]
+            per_field
                 .get_mut(field)
-                .unwrap_or_else(|| panic!("unknown field {field}"))
+                .ok_or_else(|| StorageError::internal(format!("unknown field {field}")))?
                 .append_timestep(timestep, records)?;
         }
         Ok(())
@@ -355,19 +356,30 @@ impl ClusterBuilder {
         let scheme = Arc::new(DiffScheme::new(&self.grid, self.config.fd_order));
         let mut nodes = Vec::with_capacity(self.config.num_nodes);
         let mut file_id = 0u64;
-        for (node, per_field) in self.builders.into_iter().enumerate() {
+        let devices = self
+            .node_ssds
+            .iter()
+            .copied()
+            .zip(self.node_controllers.iter().copied());
+        for (node, ((per_field, pool), (ssd, controller))) in self
+            .builders
+            .into_iter()
+            .zip(&self.pools)
+            .zip(devices)
+            .enumerate()
+        {
             let mut tables = HashMap::new();
             for (name, builder) in per_field {
-                let table = builder.finish(Arc::clone(&self.pools[node]), file_id)?;
+                let table = builder.finish(Arc::clone(pool), file_id)?;
                 file_id += 1024;
                 tables.insert(name, table);
             }
             nodes.push(Arc::new(NodeRuntime::new(
                 node,
                 tables,
-                Arc::clone(&self.pools[node]),
-                self.node_ssds[node],
-                self.node_controllers[node],
+                Arc::clone(pool),
+                ssd,
+                controller,
                 self.config.compute_scale,
                 self.config.synthetic_compute_s_per_point,
                 self.config.cache_budget_bytes,
@@ -665,7 +677,10 @@ impl Cluster {
     fn submit(&self, query: BatchQuery) -> StorageResult<BatchAnswer> {
         match &self.scheduler {
             Some(s) => s.submit(self, query),
-            None => self.run_batch(vec![query]).pop().expect("one answer"),
+            None => self
+                .run_batch(vec![query])
+                .pop()
+                .unwrap_or_else(|| Err(StorageError::internal("batch of one produced no answer"))),
         }
     }
 
@@ -675,7 +690,9 @@ impl Cluster {
     pub fn get_threshold(&self, req: &ThresholdRequest) -> StorageResult<ThresholdResponse> {
         match self.submit(BatchQuery::Threshold(req.clone()))? {
             BatchAnswer::Threshold(r) => Ok(r),
-            _ => unreachable!("threshold query yields threshold answer"),
+            _ => Err(StorageError::internal(
+                "threshold query yielded a non-threshold answer",
+            )),
         }
     }
 
@@ -695,7 +712,7 @@ impl Cluster {
         };
         match self.submit(q)? {
             BatchAnswer::Pdf(r) => Ok(r),
-            _ => unreachable!("pdf query yields pdf answer"),
+            _ => Err(StorageError::internal("pdf query yielded a non-pdf answer")),
         }
     }
 
@@ -707,7 +724,9 @@ impl Cluster {
             k,
         })? {
             BatchAnswer::TopK(r) => Ok(r),
-            _ => unreachable!("top-k query yields top-k answer"),
+            _ => Err(StorageError::internal(
+                "top-k query yielded a non-top-k answer",
+            )),
         }
     }
 
@@ -721,9 +740,11 @@ impl Cluster {
         self.run_batch(reqs.iter().cloned().map(BatchQuery::Threshold).collect())
             .into_iter()
             .map(|r| {
-                r.map(|a| match a {
-                    BatchAnswer::Threshold(t) => t,
-                    _ => unreachable!("threshold query yields threshold answer"),
+                r.and_then(|a| match a {
+                    BatchAnswer::Threshold(t) => Ok(t),
+                    _ => Err(StorageError::internal(
+                        "threshold query yielded a non-threshold answer",
+                    )),
                 })
             })
             .collect()
@@ -750,7 +771,11 @@ impl Cluster {
         }
         answers
             .into_iter()
-            .map(|a| a.expect("every query answered"))
+            .map(|a| {
+                a.unwrap_or_else(|| {
+                    Err(StorageError::internal("query was never assigned an answer"))
+                })
+            })
             .collect()
     }
 
@@ -763,7 +788,13 @@ impl Cluster {
         answers: &mut [Option<StorageResult<BatchAnswer>>],
         wall: std::time::Instant,
     ) {
-        let first = queries[idxs[0]].request();
+        let Some(first) = idxs
+            .first()
+            .and_then(|&i| queries.get(i))
+            .map(BatchQuery::request)
+        else {
+            return;
+        };
         let procs = self.procs_for(first);
         let req = SharedScanRequest {
             dataset: self.dataset.clone(),
@@ -772,7 +803,11 @@ impl Cluster {
             timestep: first.timestep,
             mode: first.mode,
             procs,
-            participants: idxs.iter().map(|&i| queries[i].participant()).collect(),
+            participants: idxs
+                .iter()
+                .filter_map(|&i| queries.get(i))
+                .map(BatchQuery::participant)
+                .collect(),
         };
         let node_outcomes: Vec<StorageResult<Vec<SharedOutcome>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -786,7 +821,11 @@ impl Cluster {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("node thread"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(StorageError::internal("node evaluation thread panicked"))
+                    })
+                })
                 .collect()
         });
         let mut per_node: Vec<StorageResult<Vec<Option<SharedOutcome>>>> = node_outcomes
@@ -797,11 +836,17 @@ impl Cluster {
             let outcomes: Vec<StorageResult<SharedOutcome>> = per_node
                 .iter_mut()
                 .map(|r| match r {
-                    Ok(v) => Ok(v[j].take().expect("one take per participant")),
+                    Ok(v) => v
+                        .get_mut(j)
+                        .and_then(Option::take)
+                        .ok_or_else(|| StorageError::internal("participant outcome already taken")),
                     Err(e) => Err(clone_storage_error(e)),
                 })
                 .collect();
-            answers[qi] = Some(self.assemble(&queries[qi], outcomes, procs, wall));
+            let Some((query, slot)) = queries.get(qi).zip(answers.get_mut(qi)) else {
+                continue;
+            };
+            *slot = Some(self.assemble(query, outcomes, procs, wall));
         }
     }
 
@@ -1035,10 +1080,9 @@ impl Cluster {
         cutout: &Box3,
     ) -> StorageResult<(VectorField<3>, TimeBreakdown)> {
         let (nx, ny, nz) = self.grid.dims();
+        let (hx, hy, hz) = cutout.hi3();
         assert!(
-            (cutout.hi[0] as usize) < nx
-                && (cutout.hi[1] as usize) < ny
-                && (cutout.hi[2] as usize) < nz,
+            (hx as usize) < nx && (hy as usize) < ny && (hz as usize) < nz,
             "cutout outside grid"
         );
         let mut session = IoSession::new();
@@ -1046,7 +1090,15 @@ impl Cluster {
         let mut ncomp = 1u64;
         for atom in cutout.atoms() {
             let owner = self.layout.node_of_atom(atom);
-            let rec = self.nodes[owner]
+            let rec = self
+                .nodes
+                .get(owner)
+                .ok_or_else(|| {
+                    StorageError::internal(format!(
+                        "atom owner {owner} outside cluster of {} nodes",
+                        self.nodes.len()
+                    ))
+                })?
                 .fetch_atom(
                     raw_field,
                     AtomKey::new(timestep, atom.zindex()),
@@ -1089,36 +1141,46 @@ impl Cluster {
     ) -> StorageResult<(Vec<[f32; 3]>, TimeBreakdown)> {
         use crate::assemble::{assemble_padded, needed_atoms};
         let dims = self.grid.dims();
-        let n = [dims.0 as f64, dims.1 as f64, dims.2 as f64];
+        let (ex, ey, ez) = (dims.0 as f64, dims.1 as f64, dims.2 as f64);
+        let &[per_x, per_y, per_z] = &self.grid.periodic;
+        // wrap on periodic axes, clamp at walls
+        let clip = |v: f64, extent: f64, periodic: bool| {
+            if periodic {
+                v.rem_euclid(extent)
+            } else {
+                v.clamp(0.0, extent - 1.0)
+            }
+        };
         let mut session = IoSession::new();
         let mut out = Vec::with_capacity(positions.len());
         let halo = order.halo();
-        for pos in positions {
-            // wrap/clamp the position into the domain
-            let mut p = [0.0f64; 3];
-            for ax in 0..3 {
-                p[ax] = if self.grid.periodic[ax] {
-                    pos[ax].rem_euclid(n[ax])
-                } else {
-                    pos[ax].clamp(0.0, n[ax] - 1.0)
-                };
-            }
-            let cell = [
-                (p[0].floor() as u32).min(dims.0 as u32 - 1),
-                (p[1].floor() as u32).min(dims.1 as u32 - 1),
-                (p[2].floor() as u32).min(dims.2 as u32 - 1),
-            ];
+        for &[rx, ry, rz] in positions {
+            let (px, py, pz) = (
+                clip(rx, ex, per_x),
+                clip(ry, ey, per_y),
+                clip(rz, ez, per_z),
+            );
+            let (cx, cy, cz) = (
+                (px.floor() as u32).min(dims.0 as u32 - 1),
+                (py.floor() as u32).min(dims.1 as u32 - 1),
+                (pz.floor() as u32).min(dims.2 as u32 - 1),
+            );
+            let cell = [cx, cy, cz];
             let domain = Box3::new(cell, cell);
             let needed = needed_atoms(&domain, halo, dims, self.grid.periodic);
             let mut atoms = std::collections::HashMap::new();
             for atom in needed {
                 let owner = self.layout.node_of_atom(atom);
-                let recs = self.nodes[owner].fetch_atoms(
-                    raw_field,
-                    timestep,
-                    &[atom.zindex()],
-                    &mut session,
-                )?;
+                let recs = self
+                    .nodes
+                    .get(owner)
+                    .ok_or_else(|| {
+                        StorageError::internal(format!(
+                            "atom owner {owner} outside cluster of {} nodes",
+                            self.nodes.len()
+                        ))
+                    })?
+                    .fetch_atoms(raw_field, timestep, &[atom.zindex()], &mut session)?;
                 let rec = recs.into_iter().next().ok_or_else(|| {
                     tdb_storage::StorageError::MissingData {
                         detail: format!("atom {atom:?} of {raw_field} timestep {timestep}"),
@@ -1127,11 +1189,7 @@ impl Cluster {
                 atoms.insert(rec.key.zindex, rec);
             }
             let padded = assemble_padded(&domain, halo, dims, self.grid.periodic, &atoms);
-            let local = [
-                p[0] - f64::from(cell[0]),
-                p[1] - f64::from(cell[1]),
-                p[2] - f64::from(cell[2]),
-            ];
+            let local = [px - f64::from(cx), py - f64::from(cy), pz - f64::from(cz)];
             out.push(tdb_kernels::interp::interpolate::<3>(&padded, order, local));
         }
         let mut breakdown = TimeBreakdown {
@@ -1219,9 +1277,12 @@ impl Cluster {
 fn pad_components(data: &[f32], ncomp: usize) -> Vec<f32> {
     use tdb_zorder::ATOM_POINTS;
     let mut out = vec![0.0f32; 3 * ATOM_POINTS];
-    for c in 0..ncomp.min(3) {
-        out[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]
-            .copy_from_slice(&data[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]);
+    for (dst, src) in out
+        .chunks_exact_mut(ATOM_POINTS)
+        .zip(data.chunks_exact(ATOM_POINTS))
+        .take(ncomp.min(3))
+    {
+        dst.copy_from_slice(src);
     }
     out
 }

@@ -19,7 +19,7 @@ use tdb_field::{Grid3, ScalarField};
 use tdb_kernels::{DerivedField, DiffScheme};
 use tdb_storage::device::{DeviceId, DeviceRegistry, IoSession};
 use tdb_storage::{AtomKey, AtomRecord, BlockCache, FaultPlan, StorageError, StorageResult, Table};
-use tdb_zorder::{encode3, Box3};
+use tdb_zorder::Box3;
 
 use crate::assemble::{assemble_padded, needed_atoms};
 use crate::cputime::thread_cpu_time_s;
@@ -398,17 +398,17 @@ impl NodeRuntime {
             let grid_box = c.grid_box();
             let mut clips = Vec::new();
             for &i in &pending {
-                if let Some(clip) = grid_box.intersect(&req.participants[i].query_box) {
+                let Some(part) = req.participants.get(i) else {
+                    continue;
+                };
+                if let Some(clip) = grid_box.intersect(&part.query_box) {
                     clips.push((i, clip));
                 }
             }
-            if clips.is_empty() {
+            let Some(&(_, first)) = clips.first() else {
                 continue;
-            }
-            let mut domain = clips[0].1;
-            for (_, b) in &clips[1..] {
-                domain = domain.hull(b);
-            }
+            };
+            let domain = clips.iter().skip(1).fold(first, |d, (_, b)| d.hull(b));
             tasks.push(ScanTask { domain, clips });
         }
 
@@ -436,17 +436,17 @@ impl NodeRuntime {
                         self.grid.periodic,
                         &atoms,
                     );
+                    let (dlx, dly, dlz) = task.domain.lo3();
                     let norm = req.derived.eval(
                         &padded,
                         &self.scheme,
-                        [
-                            task.domain.lo[0] as usize,
-                            task.domain.lo[1] as usize,
-                            task.domain.lo[2] as usize,
-                        ],
+                        [dlx as usize, dly as usize, dlz as usize],
                     );
                     for (i, clip) in &task.clips {
-                        let out = match &req.participants[*i].kernel {
+                        let Some(part) = req.participants.get(*i) else {
+                            continue;
+                        };
+                        let out = match &part.kernel {
                             ScanKernel::Threshold { threshold } => SlotOut::Points(
                                 threshold_scan_clip(&norm, &task.domain, clip, *threshold),
                             ),
@@ -496,10 +496,15 @@ impl NodeRuntime {
             let (outs, cost, chunk_session, chunk_atoms, saved) = r?;
             for (i, out) in outs {
                 match out {
-                    SlotOut::Points(p) => acc_points[i].extend(p),
-                    SlotOut::Hist(h) => match &mut acc_hist[i] {
-                        Some(acc) => acc.merge(&h),
-                        None => acc_hist[i] = Some(h),
+                    SlotOut::Points(p) => {
+                        if let Some(acc) = acc_points.get_mut(i) {
+                            acc.extend(p);
+                        }
+                    }
+                    SlotOut::Hist(h) => match acc_hist.get_mut(i) {
+                        Some(Some(acc)) => acc.merge(&h),
+                        Some(slot) => *slot = Some(h),
+                        None => {}
                     },
                 }
             }
@@ -521,8 +526,9 @@ impl NodeRuntime {
         let mut report = IoSession::new();
         report.merge(&shared_session);
         for &i in &pending {
-            let part = &req.participants[i];
-            let slot = &mut slots[i];
+            let (Some(part), Some(slot)) = (req.participants.get(i), slots.get_mut(i)) else {
+                continue;
+            };
             let mut session = IoSession::new();
             session.merge(&slot.probe_session);
             session.merge(&shared_session);
@@ -531,7 +537,10 @@ impl NodeRuntime {
             // so they ride on the I/O phase serially
             let mut io_s = model.io_s(req.procs) + session.injected_delay_s;
             let io_serial_s = model.io_serial + session.injected_delay_s;
-            let mut points = std::mem::take(&mut acc_points[i]);
+            let mut points = acc_points
+                .get_mut(i)
+                .map(std::mem::take)
+                .unwrap_or_default();
             let mut histogram = None;
             match &part.kernel {
                 ScanKernel::Threshold { threshold } => {
@@ -559,8 +568,9 @@ impl NodeRuntime {
                     width,
                     nbins,
                 } => {
-                    let hist = acc_hist[i]
-                        .take()
+                    let hist = acc_hist
+                        .get_mut(i)
+                        .and_then(Option::take)
                         .unwrap_or_else(|| tdb_field::Histogram::new(*origin, *width, *nbins));
                     if part.use_cache {
                         let pdf_key = PdfKey::new(key.clone(), *origin, *width, *nbins as u32);
@@ -738,7 +748,13 @@ impl NodeRuntime {
             let records = if owner == self.id {
                 self.fetch_atoms(&req.raw_field, req.timestep, &codes, session)
             } else {
-                let r = peers[owner].fetch_atoms(&req.raw_field, req.timestep, &codes, session);
+                let Some(peer) = peers.get(owner) else {
+                    return Err(StorageError::internal(format!(
+                        "atom owner {owner} outside cluster of {} nodes",
+                        peers.len()
+                    )));
+                };
+                let r = peer.fetch_atoms(&req.raw_field, req.timestep, &codes, session);
                 if let Ok(records) = &r {
                     // one LAN round-trip per peer contacted for this chunk
                     let bytes: u64 = records
@@ -801,66 +817,28 @@ fn threshold_scan(norm: &ScalarField, domain: &Box3, threshold: f64) -> Vec<Thre
 
 /// Scans the `clip` sub-box of a norm field evaluated over `domain`.
 ///
-/// In a shared scan the evaluated domain is the hull of several
-/// participants' clips; each participant only keeps points inside its own
-/// clip. The per-point values are identical to a clip-only evaluation
-/// because the kernels are pointwise over halo stencils.
+/// Delegates to the chunked kernel in [`tdb_kernels::scan`] (row-sliced,
+/// hoisted Morton row encoding). In a shared scan the evaluated domain is
+/// the hull of several participants' clips; each participant only keeps
+/// points inside its own clip. The per-point values are identical to a
+/// clip-only evaluation because the kernels are pointwise over halo
+/// stencils.
 fn threshold_scan_clip(
     norm: &ScalarField,
     domain: &Box3,
     clip: &Box3,
     threshold: f64,
 ) -> Vec<ThresholdPoint> {
-    let (ox, oy, oz) = (
-        (clip.lo[0] - domain.lo[0]) as usize,
-        (clip.lo[1] - domain.lo[1]) as usize,
-        (clip.lo[2] - domain.lo[2]) as usize,
-    );
-    let (cnx, cny, cnz) = (
-        (clip.hi[0] - clip.lo[0] + 1) as usize,
-        (clip.hi[1] - clip.lo[1] + 1) as usize,
-        (clip.hi[2] - clip.lo[2] + 1) as usize,
-    );
-    let mut out = Vec::new();
-    for z in 0..cnz {
-        for y in 0..cny {
-            let row = &norm.row(y + oy, z + oz)[ox..ox + cnx];
-            for (x, &v) in row.iter().enumerate() {
-                if f64::from(v) >= threshold {
-                    out.push(ThresholdPoint {
-                        zindex: encode3(
-                            clip.lo[0] + x as u32,
-                            clip.lo[1] + y as u32,
-                            clip.lo[2] + z as u32,
-                        ),
-                        value: v,
-                    });
-                }
-            }
-        }
-    }
-    out
+    let mut hits: Vec<tdb_kernels::ScanHit> = Vec::new();
+    tdb_kernels::scan::threshold_scan_clip(norm, domain, clip, threshold, &mut hits);
+    hits.into_iter()
+        .map(|(zindex, value)| ThresholdPoint { zindex, value })
+        .collect()
 }
 
 /// Accumulates the `clip` sub-box of an evaluated norm into a histogram.
 fn pdf_scan_clip(norm: &ScalarField, domain: &Box3, clip: &Box3, hist: &mut tdb_field::Histogram) {
-    let (ox, oy, oz) = (
-        (clip.lo[0] - domain.lo[0]) as usize,
-        (clip.lo[1] - domain.lo[1]) as usize,
-        (clip.lo[2] - domain.lo[2]) as usize,
-    );
-    let (cnx, cny, cnz) = (
-        (clip.hi[0] - clip.lo[0] + 1) as usize,
-        (clip.hi[1] - clip.lo[1] + 1) as usize,
-        (clip.hi[2] - clip.lo[2] + 1) as usize,
-    );
-    for z in 0..cnz {
-        for y in 0..cny {
-            for &v in &norm.row(y + oy, z + oz)[ox..ox + cnx] {
-                hist.push(f64::from(v));
-            }
-        }
-    }
+    tdb_kernels::scan::pdf_scan_clip(norm, domain, clip, hist);
 }
 
 #[cfg(test)]

@@ -55,6 +55,20 @@ impl PaddedScalar {
             .get((x + h) as usize, (y + h) as usize, (z + h) as usize)
     }
 
+    /// One contiguous padded x-row (ghosts included) at signed interior
+    /// row coordinates `(y, z)`. The returned slice starts at storage
+    /// `x = 0`, i.e. interior `x = -halo`, and spans `nx + 2*halo` points.
+    ///
+    /// This is the flat-slice entry point for chunked kernels: a stencil
+    /// term at offset `o` for the whole interior row is
+    /// `&row[(halo as isize + o) as usize..][..nx]`.
+    #[inline]
+    pub fn padded_row(&self, y: isize, z: isize) -> &[f32] {
+        let h = self.halo as isize;
+        debug_assert!(y >= -h && z >= -h, "row ({y},{z}) below halo");
+        self.storage.row((y + h) as usize, (z + h) as usize)
+    }
+
     /// Sets a value at signed interior coordinates.
     #[inline]
     pub fn set(&mut self, x: isize, y: isize, z: isize, v: f32) {

@@ -104,13 +104,22 @@ impl DerivedField {
     ) -> ScalarField {
         match self {
             DerivedField::Norm => {
+                // Row-chunked: three flat component rows in, one flat output
+                // row out, no per-point gather through `input.at`. The f32
+                // operation order matches the scalar form exactly.
                 let (nx, ny, nz) = input.dims();
+                let h = input.halo();
                 let mut out = ScalarField::zeros(nx, ny, nz);
                 for z in 0..nz {
                     for y in 0..ny {
-                        for x in 0..nx {
-                            let v = input.at(x as isize, y as isize, z as isize);
-                            out.set(x, y, z, (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt());
+                        let (yi, zi) = (y as isize, z as isize);
+                        let r0 = &input.comp(0).padded_row(yi, zi)[h..h + nx];
+                        let r1 = &input.comp(1).padded_row(yi, zi)[h..h + nx];
+                        let r2 = &input.comp(2).padded_row(yi, zi)[h..h + nx];
+                        let start = nx * (y + ny * z);
+                        let dst = &mut out.as_mut_slice()[start..start + nx];
+                        for (((d, &a), &b), &c) in dst.iter_mut().zip(r0).zip(r1).zip(r2) {
+                            *d = (a * a + b * b + c * c).sqrt();
                         }
                     }
                 }

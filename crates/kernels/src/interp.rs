@@ -35,25 +35,31 @@ impl LagOrder {
 
 /// 1-D Lagrange basis weights at fractional offset `t ∈ [0, 1)` between
 /// node `w/2 - 1` and node `w/2` of a `w`-point stencil.
-fn lagrange_weights(order: LagOrder, t: f64) -> Vec<f64> {
+///
+/// Returns a fixed-size buffer plus the valid width, so point queries
+/// allocate nothing: only the first `order.width()` entries are meaningful.
+fn lagrange_weights(order: LagOrder, t: f64) -> ([f64; 8], usize) {
     let w = order.width();
     let base = w as isize / 2 - 1;
     // node coordinates relative to the left-centre node
-    let xs: Vec<f64> = (0..w).map(|j| j as f64 - base as f64).collect();
+    let mut xs = [0.0f64; 8];
+    for (j, xj) in xs.iter_mut().enumerate().take(w) {
+        *xj = j as f64 - base as f64;
+    }
     let x = t;
-    (0..w)
-        .map(|j| {
-            let mut num = 1.0;
-            let mut den = 1.0;
-            for k in 0..w {
-                if k != j {
-                    num *= x - xs[k];
-                    den *= xs[j] - xs[k];
-                }
+    let mut out = [0.0f64; 8];
+    for j in 0..w {
+        let mut num = 1.0;
+        let mut den = 1.0;
+        for k in 0..w {
+            if k != j {
+                num *= x - xs[k];
+                den *= xs[j] - xs[k];
             }
-            num / den
-        })
-        .collect()
+        }
+        out[j] = num / den;
+    }
+    (out, w)
 }
 
 /// Interpolates all `C` components of a padded chunk at a fractional
@@ -67,24 +73,28 @@ pub fn interpolate<const C: usize>(
     let w = order.width();
     let base_off = w as isize / 2 - 1;
     let mut cells = [0isize; 3];
-    let mut ws: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    let mut ws = [[0.0f64; 8]; 3];
     for ax in 0..3 {
         let floor = pos[ax].floor();
         cells[ax] = floor as isize;
-        ws[ax] = lagrange_weights(order, pos[ax] - floor);
+        (ws[ax], _) = lagrange_weights(order, pos[ax] - floor);
     }
     let mut out = [0.0f32; C];
     for (c, o) in out.iter_mut().enumerate() {
         let comp = field.comp(c);
         let mut acc = 0.0f64;
-        for (kz, wz) in ws[2].iter().enumerate() {
-            for (ky, wy) in ws[1].iter().enumerate() {
-                for (kx, wx) in ws[0].iter().enumerate() {
-                    let v = comp.get(
-                        cells[0] - base_off + kx as isize,
-                        cells[1] - base_off + ky as isize,
-                        cells[2] - base_off + kz as isize,
-                    );
+        for (kz, wz) in ws[2].iter().take(w).enumerate() {
+            for (ky, wy) in ws[1].iter().take(w).enumerate() {
+                // Gather the x-run as one flat slice: w consecutive samples
+                // starting at `cells[0] - base_off` on this (y, z) row.
+                let y = cells[1] - base_off + ky as isize;
+                let z = cells[2] - base_off + kz as isize;
+                let h = comp.halo() as isize;
+                let row = comp.padded_row(y, z);
+                let x0 = (cells[0] - base_off + h) as usize;
+                // Same multiply order as the original per-point loop
+                // (`wx * wy * wz * v`), so results stay bit-identical.
+                for (&wx, &v) in ws[0].iter().take(w).zip(&row[x0..x0 + w]) {
                     acc += wx * wy * wz * f64::from(v);
                 }
             }
@@ -103,10 +113,11 @@ mod tests {
     fn weights_sum_to_one() {
         for order in [LagOrder::Lag4, LagOrder::Lag6, LagOrder::Lag8] {
             for &t in &[0.0, 0.25, 0.5, 0.99] {
-                let w = lagrange_weights(order, t);
-                assert_eq!(w.len(), order.width());
-                let s: f64 = w.iter().sum();
+                let (w, n) = lagrange_weights(order, t);
+                assert_eq!(n, order.width());
+                let s: f64 = w.iter().take(n).sum();
                 assert!((s - 1.0).abs() < 1e-10, "{order:?} t={t}: sum {s}");
+                assert!(w.iter().skip(n).all(|&x| x == 0.0));
             }
         }
     }

@@ -21,7 +21,9 @@ pub mod diff;
 pub mod fd;
 pub mod filter;
 pub mod interp;
+pub mod scan;
 
 pub use derived::DerivedField;
 pub use diff::DiffScheme;
 pub use fd::FdOrder;
+pub use scan::ScanHit;

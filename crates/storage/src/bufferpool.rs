@@ -1,4 +1,4 @@
-//! Shared LRU block cache — the node's buffer pool.
+//! Shared block cache — the node's buffer pool.
 //!
 //! "SQL Server also benefits from a larger buffer pool, which reduces the
 //! I/O time" (paper §5.3). Blocks read from partition files land here;
@@ -8,9 +8,12 @@
 //! The pool is generic over the cached value so callers can cache the
 //! *decoded* form of a block (checksum verified and records parsed once,
 //! on the miss path) while the eviction budget still tracks the on-disk
-//! footprint through [`PoolValue::weight`].
+//! footprint through [`PoolValue::weight`]. Victim selection is delegated
+//! to a pluggable [`EvictionPolicy`] (LRU by default; CLOCK and SIEVE via
+//! [`BufferPool::with_policy`]); the byte budget, the oversized-block
+//! `len() > 1` admission guard and fault injection are policy-independent.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -18,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::device::IoSession;
 use crate::error::StorageResult;
+use crate::eviction::{EvictionPolicy, EvictionPolicyKind};
 use crate::faults::FaultPlan;
 
 /// Cache key: a block within a partition file.
@@ -43,16 +47,16 @@ impl PoolValue for Bytes {
 struct PoolInner<V> {
     capacity_bytes: usize,
     used_bytes: usize,
-    clock: u64,
-    blocks: HashMap<BlockKey, (V, u64)>,
-    lru: BTreeMap<u64, BlockKey>,
+    blocks: HashMap<BlockKey, V>,
+    policy: Box<dyn EvictionPolicy>,
 }
 
-/// A byte-bounded LRU cache of partition blocks, shared by all worker
+/// A byte-bounded cache of partition blocks, shared by all worker
 /// processes of a node. Loads happen under the pool lock, which also
 /// serialises concurrent misses the way a single set of disks would.
 pub struct BufferPool<V: PoolValue = Bytes> {
     inner: Mutex<PoolInner<V>>,
+    policy_kind: EvictionPolicyKind,
     faults: Option<Arc<FaultPlan>>,
     obs_hits: tdb_obs::Counter,
     obs_misses: tdb_obs::Counter,
@@ -60,7 +64,7 @@ pub struct BufferPool<V: PoolValue = Bytes> {
 }
 
 impl<V: PoolValue> BufferPool<V> {
-    /// Pool bounded at `capacity_bytes`.
+    /// Pool bounded at `capacity_bytes`, evicting LRU.
     pub fn new(capacity_bytes: usize) -> Self {
         Self::with_faults(capacity_bytes, None)
     }
@@ -69,20 +73,34 @@ impl<V: PoolValue> BufferPool<V> {
     /// (see [`crate::sstable::PartitionReader`]). Pool hits are never
     /// faulted: a cached block needs no device access.
     pub fn with_faults(capacity_bytes: usize, faults: Option<Arc<FaultPlan>>) -> Self {
+        Self::with_policy(capacity_bytes, EvictionPolicyKind::default(), faults)
+    }
+
+    /// Pool with an explicit eviction policy (and optional fault plan).
+    pub fn with_policy(
+        capacity_bytes: usize,
+        kind: EvictionPolicyKind,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let reg = tdb_obs::global();
         Self {
             inner: Mutex::new(PoolInner {
                 capacity_bytes,
                 used_bytes: 0,
-                clock: 0,
                 blocks: HashMap::new(),
-                lru: BTreeMap::new(),
+                policy: kind.build(),
             }),
+            policy_kind: kind,
             faults,
             obs_hits: reg.counter("bufferpool.hits"),
             obs_misses: reg.counter("bufferpool.misses"),
             obs_evictions: reg.counter("bufferpool.evictions"),
         }
+    }
+
+    /// The eviction policy this pool was built with.
+    pub fn policy_kind(&self) -> EvictionPolicyKind {
+        self.policy_kind
     }
 
     /// The attached fault plan, if any.
@@ -99,14 +117,9 @@ impl<V: PoolValue> BufferPool<V> {
         load: impl FnOnce(&mut IoSession) -> StorageResult<V>,
     ) -> StorageResult<V> {
         let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let now = inner.clock;
-        if let Some((data, stamp)) = inner.blocks.get_mut(&key) {
+        if let Some(data) = inner.blocks.get(&key) {
             let data = data.clone();
-            let old = *stamp;
-            *stamp = now;
-            inner.lru.remove(&old);
-            inner.lru.insert(now, key);
+            inner.policy.on_hit(key);
             session.pool_hits += 1;
             self.obs_hits.inc();
             return Ok(data);
@@ -115,14 +128,13 @@ impl<V: PoolValue> BufferPool<V> {
         session.pool_misses += 1;
         self.obs_misses.inc();
         inner.used_bytes += data.weight();
-        inner.blocks.insert(key, (data.clone(), now));
-        inner.lru.insert(now, key);
+        inner.blocks.insert(key, data.clone());
+        inner.policy.on_insert(key);
         while inner.used_bytes > inner.capacity_bytes && inner.blocks.len() > 1 {
-            let Some((&oldest, &victim)) = inner.lru.iter().next() else {
+            let Some(victim) = inner.policy.evict() else {
                 break;
             };
-            inner.lru.remove(&oldest);
-            if let Some((evicted, _)) = inner.blocks.remove(&victim) {
+            if let Some(evicted) = inner.blocks.remove(&victim) {
                 inner.used_bytes -= evicted.weight();
                 self.obs_evictions.inc();
             }
@@ -134,7 +146,7 @@ impl<V: PoolValue> BufferPool<V> {
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.blocks.clear();
-        inner.lru.clear();
+        inner.policy.clear();
         inner.used_bytes = 0;
     }
 
@@ -157,6 +169,7 @@ impl<V: PoolValue> BufferPool<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn key(i: u32) -> BlockKey {
         BlockKey {
@@ -260,5 +273,83 @@ mod tests {
             .get_or_load(key(1), &mut s, |_| panic!("hit expected"))
             .unwrap();
         assert_eq!(v, Weighted(1, 60));
+    }
+
+    #[test]
+    fn policy_kind_is_config_selectable() {
+        for kind in EvictionPolicyKind::all() {
+            let pool: BufferPool = BufferPool::with_policy(1024, kind, None);
+            assert_eq!(pool.policy_kind(), kind);
+        }
+        let pool: BufferPool = BufferPool::new(1024);
+        assert_eq!(pool.policy_kind(), EvictionPolicyKind::Lru);
+    }
+
+    #[test]
+    fn clock_second_chance_protects_referenced_block() {
+        let pool: BufferPool = BufferPool::with_policy(25, EvictionPolicyKind::Clock, None);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, load_n(10)).unwrap();
+        pool.get_or_load(key(1), &mut s, load_n(10)).unwrap();
+        // reference 0 so the hand skips it and evicts 1
+        pool.get_or_load(key(0), &mut s, |_| panic!("hit expected"))
+            .unwrap();
+        pool.get_or_load(key(2), &mut s, load_n(10)).unwrap();
+        pool.get_or_load(key(0), &mut s, |_| panic!("0 must survive"))
+            .unwrap();
+        let mut reloaded = false;
+        pool.get_or_load(key(1), &mut s, |_| {
+            reloaded = true;
+            Ok(Bytes::from_static(&[0; 10]))
+        })
+        .unwrap();
+        assert!(reloaded, "key 1 should have been the CLOCK victim");
+    }
+
+    #[test]
+    fn sieve_evicts_unvisited_block_first() {
+        let pool: BufferPool = BufferPool::with_policy(25, EvictionPolicyKind::Sieve, None);
+        let mut s = IoSession::new();
+        pool.get_or_load(key(0), &mut s, load_n(10)).unwrap();
+        pool.get_or_load(key(1), &mut s, load_n(10)).unwrap();
+        // visit 0 (the oldest); the hand clears its bit and evicts 1
+        pool.get_or_load(key(0), &mut s, |_| panic!("hit expected"))
+            .unwrap();
+        pool.get_or_load(key(2), &mut s, load_n(10)).unwrap();
+        pool.get_or_load(key(0), &mut s, |_| panic!("0 must survive"))
+            .unwrap();
+        let mut reloaded = false;
+        pool.get_or_load(key(1), &mut s, |_| {
+            reloaded = true;
+            Ok(Bytes::from_static(&[0; 10]))
+        })
+        .unwrap();
+        assert!(reloaded, "key 1 should have been the SIEVE victim");
+    }
+
+    // Every policy honours the byte budget: after any access sequence the
+    // pool is within capacity unless a single oversized block remains.
+    proptest! {
+        #[test]
+        fn every_policy_honours_byte_budget(
+            // each op packs (key, weight): key = op % 16, weight = 1 + op / 16
+            ops in prop::collection::vec(0u32..16 * 59, 1..60usize),
+        ) {
+            for kind in EvictionPolicyKind::all() {
+                let pool: BufferPool = BufferPool::with_policy(100, kind, None);
+                let mut s = IoSession::new();
+                for &op in &ops {
+                    let (k, n) = (op % 16, 1 + (op / 16) as usize);
+                    pool.get_or_load(key(k), &mut s, load_n(n)).unwrap();
+                    prop_assert!(
+                        pool.used_bytes() <= 100 || pool.len() == 1,
+                        "{}: {} bytes in {} blocks", kind.name(), pool.used_bytes(), pool.len()
+                    );
+                }
+                pool.clear();
+                prop_assert_eq!(pool.used_bytes(), 0);
+                prop_assert!(pool.is_empty());
+            }
+        }
     }
 }

@@ -11,7 +11,8 @@
 //! * [`block`] — checksummed block encoding (CRC-32),
 //! * [`sstable`] — immutable sorted partition files with a fence index
 //!   (the clustered index of the paper: lookups are key-range scans),
-//! * [`bufferpool`] — a shared LRU block cache (SQL Server's buffer pool),
+//! * [`bufferpool`] — a shared block cache (SQL Server's buffer pool) with
+//!   pluggable [`eviction`] policies (LRU, CLOCK, SIEVE),
 //! * [`table`] — a partitioned table spread over disk arrays,
 //! * [`device`] — device profiles and per-query I/O accounting used by the
 //!   evaluation's modelled time breakdown (DESIGN.md §4),
@@ -24,6 +25,7 @@ pub mod block;
 pub mod bufferpool;
 pub mod device;
 pub mod error;
+pub mod eviction;
 pub mod faults;
 pub mod mvcc;
 pub mod record;
@@ -34,6 +36,7 @@ pub use block::checksum;
 pub use bufferpool::BufferPool;
 pub use device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
 pub use error::{IoResultExt, StorageError, StorageResult};
+pub use eviction::{EvictionPolicy, EvictionPolicyKind};
 pub use faults::{BlockReadFault, FaultCounts, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use mvcc::{CommitError, MvccStore, Txn};
 pub use record::{AtomKey, AtomRecord};

@@ -56,6 +56,28 @@ impl Box3 {
         e[0] * e[1] * e[2]
     }
 
+    /// The lower corner as a tuple (avoids index-slot access at call sites).
+    #[inline]
+    pub fn lo3(&self) -> (u32, u32, u32) {
+        (self.lo[0], self.lo[1], self.lo[2])
+    }
+
+    /// The upper corner as a tuple.
+    #[inline]
+    pub fn hi3(&self) -> (u32, u32, u32) {
+        (self.hi[0], self.hi[1], self.hi[2])
+    }
+
+    /// Extent along each axis as `usize` (number of points per axis).
+    #[inline]
+    pub fn extent3(&self) -> (usize, usize, usize) {
+        (
+            (self.hi[0] - self.lo[0]) as usize + 1,
+            (self.hi[1] - self.lo[1]) as usize + 1,
+            (self.hi[2] - self.lo[2]) as usize + 1,
+        )
+    }
+
     /// Whether the point is inside (inclusive).
     #[inline]
     pub fn contains_point(&self, x: u32, y: u32, z: u32) -> bool {

@@ -19,5 +19,5 @@ pub mod range;
 pub use atom::{AtomCoord, ATOM_POINTS, ATOM_WIDTH};
 pub use bigmin::{bigmin, litmax, ZScanCursor};
 pub use boxes::Box3;
-pub use morton::{decode3, decode4, encode3, encode4, MAX_COORD3};
+pub use morton::{decode3, decode4, encode3, encode4, MortonBlockDecoder, MortonRow, MAX_COORD3};
 pub use range::{decompose_box, ZRange};
