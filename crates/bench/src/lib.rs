@@ -140,20 +140,45 @@ pub fn merge_into_trend(section: &str, doc: Json) -> std::io::Result<String> {
 }
 
 fn merge_into_trend_at(dir: &std::path::Path, section: &str, doc: Json) -> std::io::Result<String> {
+    use std::io::{Read, Seek, Write};
+    use std::os::unix::io::AsRawFd;
+
     let path = dir.join(bench_trend_path());
-    let mut root = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|s| Json::parse(&s).ok())
-        .unwrap_or_else(|| Json::Obj(Default::default()));
-    if let Json::Obj(m) = &mut root {
-        let (y, mo, d) = civil_date_utc();
-        m.insert(
-            "date".to_string(),
-            Json::Str(format!("{y:04}-{mo:02}-{d:02}")),
-        );
-        m.insert(section.to_string(), doc);
+    // Concurrent harnesses (repro, cargo bench, parallel CI jobs) all merge
+    // into the same dated file. An exclusive flock on the trend file itself
+    // serialises the read-modify-write, so no section is ever lost to a
+    // racing writer; the lock dies with the file handle even on panic.
+    // deliberately NOT truncating at open: existing sections must be read
+    // back first, and truncation happens under the lock via set_len
+    #[allow(clippy::suspicious_open_options)]
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .open(&path)?;
+    if unsafe { libc::flock(file.as_raw_fd(), libc::LOCK_EX) } != 0 {
+        return Err(std::io::Error::last_os_error());
     }
-    std::fs::write(&path, root.encode())?;
+    let mut contents = String::new();
+    let result = file.read_to_string(&mut contents).and_then(|_| {
+        let mut root = Json::parse(&contents).unwrap_or_else(|_| Json::Obj(Default::default()));
+        if !matches!(root, Json::Obj(_)) {
+            root = Json::Obj(Default::default());
+        }
+        if let Json::Obj(m) = &mut root {
+            let (y, mo, d) = civil_date_utc();
+            m.insert(
+                "date".to_string(),
+                Json::Str(format!("{y:04}-{mo:02}-{d:02}")),
+            );
+            m.insert(section.to_string(), doc);
+        }
+        file.seek(std::io::SeekFrom::Start(0))?;
+        file.set_len(0)?;
+        file.write_all(root.encode().as_bytes())
+    });
+    unsafe { libc::flock(file.as_raw_fd(), libc::LOCK_UN) };
+    result?;
     Ok(path.display().to_string())
 }
 
@@ -184,6 +209,33 @@ mod tests {
         assert_eq!(root.get("a").and_then(Json::as_f64), Some(1.0));
         assert_eq!(root.get("b").and_then(Json::as_f64), Some(2.0));
         assert!(root.get("date").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn concurrent_trend_merges_lose_no_section() {
+        let dir = scratch_dir("trend_race");
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    merge_into_trend_at(&dir, &format!("s{i}"), Json::Num(i as f64))
+                        .expect("merge");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("merge thread");
+        }
+        let root =
+            Json::parse(&std::fs::read_to_string(dir.join(bench_trend_path())).expect("read"))
+                .expect("parse");
+        for i in 0..8 {
+            assert_eq!(
+                root.get(&format!("s{i}")).and_then(Json::as_f64),
+                Some(i as f64),
+                "section s{i} lost in concurrent merge"
+            );
+        }
     }
 
     #[test]

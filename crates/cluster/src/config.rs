@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use tdb_kernels::FdOrder;
-use tdb_storage::{EvictionPolicyKind, FaultPlan};
+use tdb_storage::{CompressionConfig, CompressionMode, EvictionPolicyKind, FaultPlan};
 
 /// Shape and sizing of the simulated analysis cluster.
 #[derive(Debug, Clone)]
@@ -46,6 +46,10 @@ pub struct ClusterConfig {
     /// buffer pool, semantic cache and query evaluator. `None` (default)
     /// disables injection entirely.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Block codec for the raw-field partition files. `Off` (default)
+    /// keeps the seed on-disk format byte for byte; `Lossless` and
+    /// `Lossy` write self-describing compressed blocks (DESIGN.md §10).
+    pub compression: CompressionConfig,
 }
 
 /// Scan-scheduler batching knobs.
@@ -82,6 +86,7 @@ impl Default for ClusterConfig {
             synthetic_compute_s_per_point: None,
             coalesce: None,
             faults: None,
+            compression: CompressionConfig::default(),
         }
     }
 }
@@ -105,6 +110,17 @@ impl ClusterConfig {
             assert!(
                 n % w == 0,
                 "grid axis {ax} extent {n} is not a multiple of the chunk width {w}"
+            );
+        }
+        let codec = self.compression;
+        assert!(
+            (1..=8).contains(&codec.stride),
+            "compression stride must be in 1..=8"
+        );
+        if codec.mode == CompressionMode::Lossy {
+            assert!(
+                codec.max_error.is_finite() && codec.max_error >= 0.0,
+                "lossy compression needs a finite non-negative max_error"
             );
         }
     }

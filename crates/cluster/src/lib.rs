@@ -35,4 +35,5 @@ pub use node::{QueryMode, ThresholdSubquery};
 pub use placement::{Chunk, Layout};
 pub use scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
 pub use sim::NodeTimeModel;
+pub use tdb_storage::{CompressionConfig, CompressionMode};
 pub use timing::TimeBreakdown;

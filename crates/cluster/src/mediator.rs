@@ -297,7 +297,14 @@ impl ClusterBuilder {
             for &(name, ncomp) in fields {
                 per_field.insert(
                     name.to_string(),
-                    TableBuilder::new(&node_dir, name, ncomp, zones.clone(), &arrays)?,
+                    TableBuilder::new(
+                        &node_dir,
+                        name,
+                        ncomp,
+                        zones.clone(),
+                        &arrays,
+                        config.compression,
+                    )?,
                 );
             }
             builders.push(per_field);

@@ -1,0 +1,272 @@
+//! The temporal keyframe codec for frame sequences.
+//!
+//! Keeps every `every`-th time-step (plus the last) as a lossless-coded
+//! keyframe and re-derives the frames in between at decode time by
+//! cubic Hermite interpolation: Catmull-Rom tangents where a keyframe
+//! exists beyond the segment, one-sided secant tangents at the sequence
+//! edges (with no far keyframe on either side this degenerates to exact
+//! linear interpolation). As in the spatial codec, samples the predictor
+//! misses by more than `max_error` ship as sparse corrections
+//! ([`crate::corrections`]), so the bound holds by construction —
+//! keyframes themselves are always bit-exact.
+//!
+//! Partition blocks are time-step-major — one block never holds the same
+//! atom at two time-steps — so this codec operates above the block
+//! layer, on whole frame sequences; the `repro -- compression`
+//! experiment sweeps it against the spatial tier (EXPERIMENTS.md).
+
+use crate::varint::{get_u64, put_u64};
+use crate::{corrections, lossless, CodecError};
+
+/// Encoder-side stats, mirroring [`crate::spatial::SpatialStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemporalStats {
+    /// Max |reconstructed − original| over uncorrected samples.
+    pub max_error: f64,
+    /// Total sparse corrections across all predicted frames.
+    pub corrections: usize,
+    /// Keyframes kept (the rest are re-derived).
+    pub keyframes: usize,
+}
+
+/// Keyframe time-steps for `n` frames at interval `every`.
+fn keyframe_steps(n: usize, every: u32) -> Vec<usize> {
+    let every = every.max(1) as usize;
+    let mut ks: Vec<usize> = (0..n).step_by(every).collect();
+    if n > 0 && ks.last() != Some(&(n - 1)) {
+        ks.push(n - 1);
+    }
+    ks
+}
+
+/// Predicts frame `t` from the keyframes (`ks` indices into the
+/// sequence, `keyvals` the keyframe payloads in order).
+fn predict(t: usize, ks: &[usize], keyvals: &[Vec<f32>], out: &mut [f32]) {
+    // segment ka < t < kb between consecutive keyframes
+    let seg = ks.partition_point(|&k| k < t);
+    let (ka, kb) = (ks[seg - 1], ks[seg]);
+    let (va, vb) = (&keyvals[seg - 1], &keyvals[seg]);
+    let span = (kb - ka) as f64;
+    let u = (t - ka) as f64 / span;
+    let (h00, h10, h01, h11) = hermite_basis(u);
+    // Catmull-Rom tangents (scaled to the segment) where a far keyframe
+    // exists; the segment's own secant otherwise — with both neighbours
+    // missing the cubic collapses to exact linear interpolation
+    let vp = if seg >= 2 {
+        Some(&keyvals[seg - 2])
+    } else {
+        None
+    };
+    let vn = if seg + 1 < ks.len() {
+        Some(&keyvals[seg + 1])
+    } else {
+        None
+    };
+    let sa = vp.map(|_| span / (kb - ks[seg - 2]) as f64);
+    let sb = vn.map(|_| span / (ks[seg + 1] - ka) as f64);
+    for (i, o) in out.iter_mut().enumerate() {
+        let (a, b) = (f64::from(va[i]), f64::from(vb[i]));
+        let ma = match (vp, sa) {
+            (Some(vp), Some(s)) => (b - f64::from(vp[i])) * s,
+            _ => b - a,
+        };
+        let mb = match (vn, sb) {
+            (Some(vn), Some(s)) => (f64::from(vn[i]) - a) * s,
+            _ => b - a,
+        };
+        *o = (h00 * a + h10 * ma + h01 * b + h11 * mb) as f32;
+    }
+}
+
+fn hermite_basis(u: f64) -> (f64, f64, f64, f64) {
+    let (u2, u3) = (u * u, u * u * u);
+    (
+        2.0 * u3 - 3.0 * u2 + 1.0,
+        u3 - 2.0 * u2 + u,
+        -2.0 * u3 + 3.0 * u2,
+        u3 - u2,
+    )
+}
+
+/// The correction quantum for a bound (see the spatial codec).
+fn quantum(max_error: f64) -> f64 {
+    if max_error > 0.0 {
+        max_error / 2.0
+    } else {
+        0.0
+    }
+}
+
+/// Encodes `frames` (equal-length sample vectors, one per time-step).
+pub fn encode(frames: &[Vec<f32>], every: u32, max_error: f64, out: &mut Vec<u8>) -> TemporalStats {
+    let n = frames.len();
+    let frame_len = frames.first().map_or(0, Vec::len);
+    assert!(
+        frames.iter().all(|f| f.len() == frame_len),
+        "ragged frame sequence"
+    );
+    let ks = keyframe_steps(n, every);
+    let q = quantum(max_error);
+    put_u64(out, n as u64);
+    put_u64(out, frame_len as u64);
+    put_u64(out, u64::from(every.max(1)));
+    out.extend_from_slice(&q.to_le_bytes());
+    for &k in &ks {
+        lossless::encode(&frames[k], out);
+    }
+    let keyvals: Vec<Vec<f32>> = ks.iter().map(|&k| frames[k].clone()).collect();
+    let mut stats = TemporalStats {
+        keyframes: ks.len(),
+        ..Default::default()
+    };
+    let mut pred = vec![0.0f32; frame_len];
+    for (t, frame) in frames.iter().enumerate() {
+        if ks.binary_search(&t).is_ok() {
+            continue;
+        }
+        predict(t, &ks, &keyvals, &mut pred);
+        let (max_err, ncorr) = corrections::encode(frame, &pred, q, max_error, out);
+        stats.max_error = stats.max_error.max(max_err);
+        stats.corrections += ncorr;
+    }
+    stats
+}
+
+/// Decodes a sequence written by [`encode`].
+pub fn decode(mut body: &[u8]) -> Result<Vec<Vec<f32>>, CodecError> {
+    let buf = &mut body;
+    let n = get_u64(buf)? as usize;
+    let frame_len = get_u64(buf)? as usize;
+    let every = get_u64(buf)? as u32;
+    if buf.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    let q = f64::from_le_bytes([
+        head[0], head[1], head[2], head[3], head[4], head[5], head[6], head[7],
+    ]);
+    if !q.is_finite() || q < 0.0 {
+        return Err(CodecError::Invalid("temporal quantum out of range"));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let ks = keyframe_steps(n, every);
+    let mut keyvals = Vec::with_capacity(ks.len());
+    for _ in &ks {
+        keyvals.push(lossless::decode_prefix(buf, frame_len)?);
+    }
+    let mut frames: Vec<Vec<f32>> = Vec::with_capacity(n);
+    for t in 0..n {
+        if let Ok(seg) = ks.binary_search(&t) {
+            frames.push(keyvals[seg].clone());
+            continue;
+        }
+        let mut pred = vec![0.0f32; frame_len];
+        predict(t, &ks, &keyvals, &mut pred);
+        corrections::decode(buf, q, &mut pred)?;
+        frames.push(pred);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_sequence(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|t| {
+                (0..len)
+                    .map(|i| ((t as f64 * 0.1 + i as f64 * 0.01).sin()) as f32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keyframe_steps_cover_both_ends() {
+        assert_eq!(keyframe_steps(8, 4), vec![0, 4, 7]);
+        assert_eq!(keyframe_steps(9, 4), vec![0, 4, 8]);
+        assert_eq!(keyframe_steps(1, 4), vec![0]);
+        assert_eq!(keyframe_steps(0, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn smooth_sequence_roundtrips_within_bound_and_compresses() {
+        let frames = smooth_sequence(16, 256);
+        let bound = 1e-3;
+        let mut b = Vec::new();
+        let stats = encode(&frames, 4, bound, &mut b);
+        assert_eq!(stats.keyframes, 5);
+        assert!(stats.max_error <= bound);
+        let raw = 16 * 256 * 4;
+        assert!(b.len() * 2 < raw, "{} of {raw}", b.len());
+        let back = decode(&b).unwrap();
+        assert_eq!(back.len(), frames.len());
+        for (f, g) in frames.iter().zip(&back) {
+            for (a, c) in f.iter().zip(g) {
+                assert!((f64::from(*a) - f64::from(*c)).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn keyframes_are_bitwise_exact() {
+        let mut frames = smooth_sequence(9, 64);
+        frames[0][7] = f32::NAN;
+        frames[8][3] = f32::NEG_INFINITY;
+        let mut b = Vec::new();
+        encode(&frames, 4, 1e-3, &mut b);
+        let back = decode(&b).unwrap();
+        for &t in &[0usize, 4, 8] {
+            for (a, c) in frames[t].iter().zip(&back[t]) {
+                assert_eq!(a.to_bits(), c.to_bits(), "keyframe {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_predicted_samples_correct_bitwise() {
+        let mut frames = smooth_sequence(8, 32);
+        frames[2][5] = f32::NAN;
+        frames[3][9] = f32::INFINITY;
+        let mut b = Vec::new();
+        encode(&frames, 4, 1e-3, &mut b);
+        let back = decode(&b).unwrap();
+        assert!(back[2][5].is_nan());
+        assert_eq!(back[3][9], f32::INFINITY);
+    }
+
+    #[test]
+    fn cubic_prediction_rarely_misses_on_smooth_data() {
+        let frames = smooth_sequence(32, 128);
+        // interior (Catmull-Rom) segments predict to ~5e-4 here; the
+        // one-sided edge segments carry the error tail, so "rarely" is
+        // judged at a bound past the interior accuracy
+        let bound = 5e-3;
+        let mut hermite = Vec::new();
+        let s_h = encode(&frames, 4, bound, &mut hermite);
+        assert!(
+            s_h.corrections * 10 < 30 * 128,
+            "cubic prediction misses too often: {}",
+            s_h.corrections
+        );
+        let back = decode(&hermite).unwrap();
+        for (f, g) in frames.iter().zip(&back) {
+            for (a, c) in f.iter().zip(g) {
+                assert!((f64::from(*a) - f64::from(*c)).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_sequence_is_rejected() {
+        let frames = smooth_sequence(8, 32);
+        let mut b = Vec::new();
+        encode(&frames, 4, 1e-3, &mut b);
+        assert!(decode(&b[..b.len() / 2]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

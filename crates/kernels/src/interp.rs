@@ -33,6 +33,28 @@ impl LagOrder {
     }
 }
 
+/// 1-D Lagrange basis weights over arbitrary distinct `nodes` at
+/// evaluation point `x`: `out[j] = Π_{k≠j} (x - nodes[k]) / (nodes[j] -
+/// nodes[k])`. Exact for polynomials of degree `< nodes.len()`; when `x`
+/// coincides with a node the basis is the Kronecker delta.
+///
+/// Point queries use it on uniform stencils via [`interpolate`]; the
+/// compression tier (`tdb-compress`) reconstructs sub-sampled atoms with
+/// it on the non-uniform kept-sample lattice.
+pub fn lagrange_basis(nodes: &[f64], x: f64, out: &mut [f64]) {
+    for (j, slot) in out.iter_mut().enumerate().take(nodes.len()) {
+        let mut num = 1.0;
+        let mut den = 1.0;
+        for (k, &xk) in nodes.iter().enumerate() {
+            if k != j {
+                num *= x - xk;
+                den *= nodes[j] - xk;
+            }
+        }
+        *slot = num / den;
+    }
+}
+
 /// 1-D Lagrange basis weights at fractional offset `t ∈ [0, 1)` between
 /// node `w/2 - 1` and node `w/2` of a `w`-point stencil.
 ///
@@ -46,19 +68,9 @@ fn lagrange_weights(order: LagOrder, t: f64) -> ([f64; 8], usize) {
     for (j, xj) in xs.iter_mut().enumerate().take(w) {
         *xj = j as f64 - base as f64;
     }
-    let x = t;
     let mut out = [0.0f64; 8];
-    for j in 0..w {
-        let mut num = 1.0;
-        let mut den = 1.0;
-        for k in 0..w {
-            if k != j {
-                num *= x - xs[k];
-                den *= xs[j] - xs[k];
-            }
-        }
-        out[j] = num / den;
-    }
+    let (nodes, _) = xs.split_at(w);
+    lagrange_basis(nodes, t, &mut out);
     (out, w)
 }
 
@@ -108,6 +120,32 @@ pub fn interpolate<const C: usize>(
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn nonuniform_basis_is_exact_on_nodes_and_partitions_unity() {
+        let nodes = [0.0, 2.0, 4.0, 6.0, 7.0]; // the stride-2 kept lattice
+        let mut w = [0.0f64; 8];
+        for (j, &xj) in nodes.iter().enumerate() {
+            lagrange_basis(&nodes, xj, &mut w);
+            for (k, &wk) in w.iter().take(nodes.len()).enumerate() {
+                let expect = if k == j { 1.0 } else { 0.0 };
+                assert!((wk - expect).abs() < 1e-12, "node {j}: w[{k}] = {wk}");
+            }
+        }
+        for x in [0.5, 1.0, 3.3, 5.0, 6.9] {
+            lagrange_basis(&nodes, x, &mut w);
+            let s: f64 = w.iter().take(nodes.len()).sum();
+            assert!((s - 1.0).abs() < 1e-10, "x={x}: sum {s}");
+            // degree-2 polynomial reproduced exactly by a 5-node basis
+            let p = |t: f64| 3.0 * t * t - 2.0 * t + 1.0;
+            let got: f64 = nodes
+                .iter()
+                .zip(w.iter())
+                .map(|(&xj, &wj)| wj * p(xj))
+                .sum();
+            assert!((got - p(x)).abs() < 1e-9, "x={x}: {got} vs {}", p(x));
+        }
+    }
 
     #[test]
     fn weights_sum_to_one() {

@@ -26,4 +26,5 @@ pub mod scan;
 pub use derived::DerivedField;
 pub use diff::DiffScheme;
 pub use fd::FdOrder;
+pub use interp::{interpolate, lagrange_basis, LagOrder};
 pub use scan::ScanHit;

@@ -32,6 +32,13 @@ pub const DECLARED_METRICS: &[&str] = &[
     "cache.semantic.misses",
     "cache.semantic.quarantined",
     "cache.semantic.rebuilt",
+    "compress.blocks.lossless",
+    "compress.blocks.lossy",
+    "compress.bytes.logical",
+    "compress.bytes.stored",
+    "compress.corrections",
+    "compress.max_error_micro",
+    "compress.reconstruct_s",
     "faults.injected.corrupt",
     "faults.injected.latency",
     "faults.injected.node_down",

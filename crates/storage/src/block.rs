@@ -3,11 +3,24 @@
 //! Partition files are written and read in blocks of roughly
 //! [`TARGET_BLOCK_BYTES`]. Every block carries a CRC-32 so corruption is
 //! detected on read rather than propagated into query answers.
+//!
+//! Two block formats share the CRC framing and are told apart by magic:
+//!
+//! * **V1** (`magic | nrec | raw records | crc`) — the seed format,
+//!   written whenever compression is off; byte-identical to before the
+//!   compression tier existed.
+//! * **V2** (`magic2 | nrec | compressed records | crc`) — each record is
+//!   `key | ncomp | per-plane (u32 length + self-describing codec
+//!   payload)`; the codec id byte inside each plane payload makes blocks
+//!   self-describing, so readers need no table-level configuration
+//!   (DESIGN.md §10).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tdb_compress::{decode_plane, encode_plane, CompressionConfig};
+use tdb_zorder::ATOM_POINTS;
 
 use crate::error::{StorageError, StorageResult};
-use crate::record::AtomRecord;
+use crate::record::{AtomKey, AtomRecord};
 
 /// Target on-disk block size. Atoms are ~6 KiB (3 components), so a block
 /// holds on the order of ten records — large enough to amortise a seek,
@@ -15,6 +28,8 @@ use crate::record::AtomRecord;
 pub const TARGET_BLOCK_BYTES: usize = 64 * 1024;
 
 const BLOCK_MAGIC: u32 = 0x7db1_0c0d;
+/// Magic of compressed (V2) blocks.
+const BLOCK_MAGIC_V2: u32 = 0x7db2_0c0d;
 
 /// CRC-32 (IEEE 802.3, reflected) over `data`.
 pub fn checksum(data: &[u8]) -> u32 {
@@ -31,7 +46,32 @@ pub fn checksum(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Serialises records into one block: `magic | nrec | payload | crc`.
+/// Encoder-side stats of one block, aggregated into the `compress.*`
+/// metrics by the partition writer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockCodecStats {
+    /// Bytes the records occupy decoded (the V1 encoding size).
+    pub logical_bytes: u64,
+    /// Bytes the block occupies on disk.
+    pub stored_bytes: u64,
+    /// Sparse corrections across all planes (lossy codec only).
+    pub corrections: u64,
+    /// Worst uncorrected reconstruction error across all planes.
+    pub max_error: f64,
+}
+
+/// Decoder-side facts about a block, reported by
+/// [`decode_block_meta`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockMeta {
+    /// Whether the block was stored in the compressed (V2) format.
+    pub compressed: bool,
+    /// Bytes the decoded records occupy in memory (the buffer-pool
+    /// weight of the block).
+    pub logical_bytes: u64,
+}
+
+/// Serialises records into one V1 block: `magic | nrec | payload | crc`.
 pub fn encode_block(records: &[AtomRecord]) -> Bytes {
     let mut payload = BytesMut::new();
     for r in records {
@@ -46,8 +86,65 @@ pub fn encode_block(records: &[AtomRecord]) -> Bytes {
     out.freeze()
 }
 
+/// Serialises records under `codec`. [`CompressionMode::Off`] delegates
+/// to [`encode_block`], keeping the seed format byte-identical; active
+/// codecs write a V2 block whose planes are self-describing compressed
+/// payloads.
+///
+/// [`CompressionMode::Off`]: tdb_compress::CompressionMode::Off
+pub fn encode_block_with(
+    records: &[AtomRecord],
+    codec: &CompressionConfig,
+) -> (Bytes, BlockCodecStats) {
+    let logical: u64 = records
+        .iter()
+        .map(|r| AtomRecord::encoded_len(r.ncomp) as u64)
+        .sum();
+    if !codec.is_active() {
+        let blk = encode_block(records);
+        let stats = BlockCodecStats {
+            logical_bytes: logical,
+            stored_bytes: blk.len() as u64,
+            ..Default::default()
+        };
+        return (blk, stats);
+    }
+    let mut stats = BlockCodecStats {
+        logical_bytes: logical,
+        ..Default::default()
+    };
+    let mut out = BytesMut::new();
+    out.put_u32(BLOCK_MAGIC_V2);
+    out.put_u32(records.len() as u32);
+    for r in records {
+        r.key.encode(&mut out);
+        out.put_u8(r.ncomp);
+        for c in 0..usize::from(r.ncomp) {
+            let enc = encode_plane(codec, r.plane(c));
+            stats.corrections += enc.corrections as u64;
+            stats.max_error = stats.max_error.max(enc.max_error);
+            out.put_u32_le(enc.bytes.len() as u32);
+            out.extend_from_slice(&enc.bytes);
+        }
+    }
+    let crc = checksum(&out);
+    out.put_u32(crc);
+    let blk = out.freeze();
+    stats.stored_bytes = blk.len() as u64;
+    (blk, stats)
+}
+
 /// Decodes a block, validating magic and checksum.
-pub fn decode_block(mut data: Bytes, file: &str) -> StorageResult<Vec<AtomRecord>> {
+pub fn decode_block(data: Bytes, file: &str) -> StorageResult<Vec<AtomRecord>> {
+    decode_block_meta(data, file).map(|(records, _)| records)
+}
+
+/// Decodes a block (either format), also reporting which format it was
+/// and its decoded footprint.
+pub fn decode_block_meta(
+    mut data: Bytes,
+    file: &str,
+) -> StorageResult<(Vec<AtomRecord>, BlockMeta)> {
     if data.len() < 12 {
         return Err(StorageError::Corrupt {
             file: file.into(),
@@ -55,7 +152,8 @@ pub fn decode_block(mut data: Bytes, file: &str) -> StorageResult<Vec<AtomRecord
         });
     }
     let body = data.slice(0..data.len() - 4);
-    let stored_crc = (&data[data.len() - 4..]).get_u32();
+    let mut tail = data.slice(data.len() - 4..);
+    let stored_crc = tail.get_u32();
     if checksum(&body) != stored_crc {
         return Err(StorageError::Corrupt {
             file: file.into(),
@@ -63,23 +161,32 @@ pub fn decode_block(mut data: Bytes, file: &str) -> StorageResult<Vec<AtomRecord
         });
     }
     let magic = data.get_u32();
-    if magic != BLOCK_MAGIC {
-        return Err(StorageError::Corrupt {
-            file: file.into(),
-            detail: format!("bad magic {magic:#x}"),
-        });
-    }
+    let compressed = match magic {
+        BLOCK_MAGIC => false,
+        BLOCK_MAGIC_V2 => true,
+        other => {
+            return Err(StorageError::Corrupt {
+                file: file.into(),
+                detail: format!("bad magic {other:#x}"),
+            })
+        }
+    };
     let nrec = data.get_u32() as usize;
     let mut payload = data.slice(0..data.len() - 4);
     let mut records = Vec::with_capacity(nrec);
     for _ in 0..nrec {
-        records.push(AtomRecord::decode(&mut payload).map_err(|e| match e {
-            StorageError::Corrupt { detail, .. } => StorageError::Corrupt {
-                file: file.into(),
-                detail,
-            },
-            other => other,
-        })?);
+        let rec = if compressed {
+            decode_compressed_record(&mut payload, file)?
+        } else {
+            AtomRecord::decode(&mut payload).map_err(|e| match e {
+                StorageError::Corrupt { detail, .. } => StorageError::Corrupt {
+                    file: file.into(),
+                    detail,
+                },
+                other => other,
+            })?
+        };
+        records.push(rec);
     }
     if payload.has_remaining() {
         return Err(StorageError::Corrupt {
@@ -90,7 +197,48 @@ pub fn decode_block(mut data: Bytes, file: &str) -> StorageResult<Vec<AtomRecord
             ),
         });
     }
-    Ok(records)
+    let logical: u64 = records
+        .iter()
+        .map(|r| AtomRecord::encoded_len(r.ncomp) as u64)
+        .sum();
+    Ok((
+        records,
+        BlockMeta {
+            compressed,
+            logical_bytes: logical,
+        },
+    ))
+}
+
+/// One V2 record: `key | ncomp | ncomp × (u32 plane length + payload)`.
+fn decode_compressed_record(payload: &mut Bytes, file: &str) -> StorageResult<AtomRecord> {
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: file.into(),
+        detail,
+    };
+    if payload.remaining() < AtomKey::ENCODED_LEN + 1 {
+        return Err(corrupt("truncated compressed record header".into()));
+    }
+    let key = AtomKey::decode(payload);
+    let ncomp = payload.get_u8();
+    let mut data = Vec::with_capacity(usize::from(ncomp) * ATOM_POINTS);
+    for c in 0..ncomp {
+        if payload.remaining() < 4 {
+            return Err(corrupt(format!("truncated plane {c} length (key {key:?})")));
+        }
+        let len = payload.get_u32_le() as usize;
+        if payload.remaining() < len {
+            return Err(corrupt(format!(
+                "truncated plane {c} payload (key {key:?})"
+            )));
+        }
+        let plane = payload.slice(0..len);
+        payload.advance(len);
+        let samples = decode_plane(&plane, ATOM_POINTS)
+            .map_err(|e| corrupt(format!("plane {c} of {key:?}: {e}")))?;
+        data.extend_from_slice(&samples);
+    }
+    Ok(AtomRecord { key, ncomp, data })
 }
 
 #[cfg(test)]
@@ -146,5 +294,84 @@ mod tests {
         let cut = blk.slice(0..blk.len() / 2);
         assert!(decode_block(cut, "f").is_err());
         assert!(decode_block(Bytes::from_static(&[1, 2, 3]), "f").is_err());
+    }
+
+    // Smooth in lattice coordinates (like a simulation field), not in the
+    // flattened sample index — the spatial codec sub-samples per axis.
+    fn smooth_rec(ts: u32, zidx: u64, ncomp: u8) -> AtomRecord {
+        let data = (0..usize::from(ncomp) * ATOM_POINTS)
+            .map(|i| {
+                let (x, y, z) = (i % 8, (i / 8) % 8, (i / 64) % 8);
+                let phase = zidx as f64 * 0.05 + (i / ATOM_POINTS) as f64;
+                ((x as f64 * 0.25 + phase).sin() * (y as f64 * 0.2).cos() + 0.1 * z as f64) as f32
+            })
+            .collect();
+        AtomRecord::new(AtomKey::new(ts, zidx), ncomp, data).unwrap()
+    }
+
+    #[test]
+    fn codec_off_is_byte_identical_to_v1() {
+        let records: Vec<_> = (0..4).map(|i| rec(1, i * 2)).collect();
+        let (blk, stats) = encode_block_with(&records, &CompressionConfig::default());
+        assert_eq!(&blk[..], &encode_block(&records)[..]);
+        assert_eq!(stats.stored_bytes, blk.len() as u64);
+        let (back, meta) = decode_block_meta(blk, "t").unwrap();
+        assert_eq!(back, records);
+        assert!(!meta.compressed);
+    }
+
+    #[test]
+    fn lossless_block_roundtrips_bitwise_and_shrinks() {
+        let mut records: Vec<_> = (0..6).map(|i| smooth_rec(3, i * 5, 3)).collect();
+        records[2].data[17] = f32::NAN;
+        records[4].data[900] = f32::NEG_INFINITY;
+        let (blk, stats) = encode_block_with(&records, &CompressionConfig::lossless());
+        assert!(stats.stored_bytes < stats.logical_bytes, "{stats:?}");
+        assert_eq!(stats.corrections, 0);
+        let (back, meta) = decode_block_meta(blk, "t").unwrap();
+        assert!(meta.compressed);
+        assert_eq!(meta.logical_bytes, stats.logical_bytes);
+        assert_eq!(back.len(), records.len());
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_block_beats_4x_within_bound() {
+        let records: Vec<_> = (0..8).map(|i| smooth_rec(0, i * 3, 3)).collect();
+        let bound = 1e-3;
+        let (blk, stats) = encode_block_with(&records, &CompressionConfig::lossy(2, bound));
+        assert!(stats.max_error <= bound);
+        assert!(
+            stats.stored_bytes * 4 <= stats.logical_bytes,
+            "ratio {:.2}",
+            stats.logical_bytes as f64 / stats.stored_bytes as f64
+        );
+        let (back, meta) = decode_block_meta(blk, "t").unwrap();
+        assert!(meta.compressed);
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert!((f64::from(*x) - f64::from(*y)).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_bit_flip_is_detected() {
+        let records: Vec<_> = (0..4).map(|i| smooth_rec(0, i, 1)).collect();
+        let (blk, _) = encode_block_with(&records, &CompressionConfig::lossless());
+        for pos in [0usize, 9, blk.len() / 2, blk.len() - 1] {
+            let mut bad = blk.to_vec();
+            bad[pos] ^= 0x04;
+            assert!(
+                decode_block(Bytes::from(bad), "f").is_err(),
+                "flip at {pos} not detected"
+            );
+        }
     }
 }

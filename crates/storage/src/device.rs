@@ -111,9 +111,17 @@ impl DeviceRegistry {
         DeviceId(self.profiles.len() as u32 - 1)
     }
 
-    /// Profile of a registered device.
+    /// Profile of a registered device. An id this registry never issued
+    /// (a session merged across registries) resolves to an inert
+    /// zero-cost pass-through profile rather than panicking mid-query.
     pub fn profile(&self, id: DeviceId) -> &DeviceProfile {
-        &self.profiles[id.0 as usize]
+        static UNKNOWN: DeviceProfile = DeviceProfile {
+            name: String::new(),
+            latency_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            pass_through: true,
+        };
+        self.profiles.get(id.0 as usize).unwrap_or(&UNKNOWN)
     }
 
     /// Number of registered devices.

@@ -32,7 +32,7 @@ pub mod record;
 pub mod sstable;
 pub mod table;
 
-pub use block::checksum;
+pub use block::{checksum, decode_block_meta, encode_block_with, BlockCodecStats, BlockMeta};
 pub use bufferpool::BufferPool;
 pub use device::{DeviceId, DeviceProfile, DeviceRegistry, IoSession};
 pub use error::{IoResultExt, StorageError, StorageResult};
@@ -42,3 +42,4 @@ pub use mvcc::{CommitError, MvccStore, Txn};
 pub use record::{AtomKey, AtomRecord};
 pub use sstable::{BlockCache, DecodedBlock, PartitionReader, PartitionWriter};
 pub use table::{Table, TableBuilder};
+pub use tdb_compress::{CompressionConfig, CompressionMode};

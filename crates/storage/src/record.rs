@@ -100,9 +100,13 @@ impl AtomRecord {
         Ok(AtomRecord { key, ncomp, data })
     }
 
-    /// Component plane `c` of the payload.
+    /// Component plane `c` of the payload (empty for `c >= ncomp`, so a
+    /// schema mix-up surfaces as missing data rather than a panic in the
+    /// query path).
     pub fn plane(&self, c: usize) -> &[f32] {
-        &self.data[c * ATOM_POINTS..(c + 1) * ATOM_POINTS]
+        self.data
+            .get(c * ATOM_POINTS..(c + 1) * ATOM_POINTS)
+            .unwrap_or(&[])
     }
 }
 

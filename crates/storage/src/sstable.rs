@@ -14,8 +14,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tdb_compress::{CompressionConfig, CompressionMode};
 
-use crate::block::{decode_block, encode_block, TARGET_BLOCK_BYTES};
+use crate::block::{decode_block_meta, encode_block_with, TARGET_BLOCK_BYTES};
 use crate::bufferpool::{BlockKey, BufferPool, PoolValue};
 use crate::device::{DeviceId, IoSession};
 use crate::error::{IoResultExt, StorageError, StorageResult};
@@ -30,17 +31,21 @@ const MAX_READ_ATTEMPTS: u32 = 3;
 const RETRY_BACKOFF_S: f64 = 2e-3;
 
 /// A checksum-verified, parsed partition block as held by the buffer
-/// pool. Decoding happens once, on the miss path; the pool budget tracks
-/// the on-disk footprint.
+/// pool. Decoding (including codec reconstruction) happens once, on the
+/// miss path; the pool budget tracks the *decoded* footprint while the
+/// device accounting charges the on-disk (possibly compressed) bytes.
 #[derive(Debug, Clone)]
 pub struct DecodedBlock {
     pub records: Arc<Vec<AtomRecord>>,
+    /// Bytes read from the device (compressed size for V2 blocks).
     pub disk_len: u32,
+    /// Bytes the decoded records occupy in memory.
+    pub logical_len: u64,
 }
 
 impl PoolValue for DecodedBlock {
     fn weight(&self) -> usize {
-        self.disk_len as usize
+        self.logical_len as usize
     }
 }
 
@@ -62,6 +67,7 @@ pub struct PartitionWriter {
     file: File,
     path: PathBuf,
     ncomp: u8,
+    codec: CompressionConfig,
     fences: Vec<Fence>,
     pending: Vec<AtomRecord>,
     pending_bytes: usize,
@@ -70,14 +76,27 @@ pub struct PartitionWriter {
 }
 
 impl PartitionWriter {
-    /// Creates (truncates) the partition file.
+    /// Creates (truncates) the partition file in the seed (uncompressed)
+    /// format.
     pub fn create(path: impl AsRef<Path>, ncomp: u8) -> StorageResult<Self> {
+        Self::create_with(path, ncomp, CompressionConfig::default())
+    }
+
+    /// Creates (truncates) the partition file, writing blocks under
+    /// `codec`. [`CompressionMode::Off`] keeps the seed format
+    /// byte-identical.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        ncomp: u8,
+        codec: CompressionConfig,
+    ) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path).at_file(path.display().to_string())?;
         Ok(Self {
             file,
             path,
             ncomp,
+            codec,
             fences: Vec::new(),
             pending: Vec::new(),
             pending_bytes: 0,
@@ -118,7 +137,24 @@ impl PartitionWriter {
             return Ok(());
         };
         let (first, last) = (first.key, last.key);
-        let blk = encode_block(&self.pending);
+        let (blk, stats) = encode_block_with(&self.pending, &self.codec);
+        if self.codec.is_active() {
+            let m = tdb_obs::global();
+            match self.codec.mode {
+                CompressionMode::Lossless => m.counter("compress.blocks.lossless").inc(),
+                CompressionMode::Lossy => m.counter("compress.blocks.lossy").inc(),
+                CompressionMode::Off => {}
+            }
+            m.counter("compress.bytes.logical").add(stats.logical_bytes);
+            m.counter("compress.bytes.stored").add(stats.stored_bytes);
+            m.counter("compress.corrections").add(stats.corrections);
+            // worst uncorrected error ever written, in microns of value
+            let micro = (stats.max_error * 1e6).ceil() as i64;
+            let g = m.gauge("compress.max_error_micro");
+            if micro > g.get() {
+                g.set(micro);
+            }
+        }
         self.file
             .write_all(&blk)
             .at_file(self.path.display().to_string())?;
@@ -262,8 +298,12 @@ impl PartitionReader {
     /// retry with modelled exponential backoff; the retry happens inside
     /// the loader so the pool still counts a single miss. Permanent
     /// failures propagate immediately with the partition path attached.
-    fn read_block(&self, idx: usize, session: &mut IoSession) -> StorageResult<DecodedBlock> {
-        let fence = self.fences[idx];
+    fn read_block(
+        &self,
+        idx: usize,
+        fence: Fence,
+        session: &mut IoSession,
+    ) -> StorageResult<DecodedBlock> {
         let key = BlockKey {
             file_id: self.file_id,
             block_no: idx as u32,
@@ -327,10 +367,17 @@ impl PartitionReader {
             .read_exact_at(&mut buf, fence.offset)
             .at_file(&self.path)?;
         s.charge(self.device, 1, u64::from(fence.len));
-        let records = decode_block(Bytes::from(buf), &self.path)?;
+        let started = std::time::Instant::now();
+        let (records, meta) = decode_block_meta(Bytes::from(buf), &self.path)?;
+        if meta.compressed {
+            tdb_obs::global()
+                .histogram("compress.reconstruct_s")
+                .observe(started.elapsed().as_secs_f64());
+        }
         Ok(DecodedBlock {
             records: Arc::new(records),
             disk_len: fence.len,
+            logical_len: meta.logical_bytes,
         })
     }
 
@@ -347,11 +394,11 @@ impl PartitionReader {
         // first block whose last key >= lo
         let start = self.fences.partition_point(|f| f.last < lo);
         let mut out = Vec::new();
-        for idx in start..self.fences.len() {
-            if self.fences[idx].first > hi {
+        for (idx, fence) in self.fences.iter().enumerate().skip(start) {
+            if fence.first > hi {
                 break;
             }
-            let block = self.read_block(idx, session)?;
+            let block = self.read_block(idx, *fence, session)?;
             for r in block.records.iter() {
                 if r.key >= lo && r.key <= hi {
                     out.push(r.clone());
@@ -597,6 +644,117 @@ mod tests {
         r.scan_range(AtomKey::new(0, 0), AtomKey::new(0, 49), &mut s2)
             .unwrap();
         assert_eq!(s2.injected_delay_s, 0.0);
+    }
+
+    // Smooth in lattice coordinates, matching the sub-sampled spatial codec.
+    fn smooth_rec(ts: u32, zidx: u64) -> AtomRecord {
+        let data = (0..ATOM_POINTS)
+            .map(|i| {
+                let (x, y, z) = (i % 8, (i / 8) % 8, i / 64);
+                let phase = zidx as f64 * 0.05 + ts as f64 * 0.1;
+                ((x as f64 * 0.25 + phase).sin() * (y as f64 * 0.2).cos() + 0.1 * z as f64) as f32
+            })
+            .collect();
+        AtomRecord::new(AtomKey::new(ts, zidx), 1, data).unwrap()
+    }
+
+    fn build_codec(
+        dir: &Path,
+        name: &str,
+        keys: &[(u32, u64)],
+        codec: CompressionConfig,
+    ) -> PartitionReader {
+        let path = dir.join(format!("{name}.tdb"));
+        let mut w = PartitionWriter::create_with(&path, 1, codec).unwrap();
+        for &(ts, z) in keys {
+            w.append(smooth_rec(ts, z)).unwrap();
+        }
+        w.finish().unwrap();
+        let mut reg = crate::device::DeviceRegistry::new();
+        let dev = reg.register(crate::device::DeviceProfile::hdd_array());
+        PartitionReader::open(&path, 1, dev, Arc::new(BlockCache::new(1 << 22))).unwrap()
+    }
+
+    #[test]
+    fn lossless_partition_scan_is_bitwise_identical_and_charges_fewer_bytes() {
+        let dir = tmpdir("lossless");
+        let keys: Vec<(u32, u64)> = (0u32..120).map(|i| (0, u64::from(i))).collect();
+        let clean = build_codec(&dir, "clean", &keys, CompressionConfig::default());
+        let comp = build_codec(&dir, "lossless", &keys, CompressionConfig::lossless());
+        let lo = AtomKey::new(0, 0);
+        let hi = AtomKey::new(0, 119);
+        let mut sc = IoSession::new();
+        let want = clean.scan_range(lo, hi, &mut sc).unwrap();
+        let mut sf = IoSession::new();
+        let got = comp.scan_range(lo, hi, &mut sf).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.key, b.key);
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(
+            sf.total_bytes() < sc.total_bytes(),
+            "compressed cold scan must move fewer device bytes: {} vs {}",
+            sf.total_bytes(),
+            sc.total_bytes()
+        );
+    }
+
+    #[test]
+    fn lossy_partition_scan_stays_within_bound_and_beats_4x() {
+        let dir = tmpdir("lossy");
+        let keys: Vec<(u32, u64)> = (0u32..120).map(|i| (0, u64::from(i))).collect();
+        let bound = 1e-3;
+        let clean = build_codec(&dir, "clean4x", &keys, CompressionConfig::default());
+        let comp = build_codec(&dir, "lossy4x", &keys, CompressionConfig::lossy(2, bound));
+        let lo = AtomKey::new(0, 0);
+        let hi = AtomKey::new(0, 119);
+        let mut sc = IoSession::new();
+        let want = clean.scan_range(lo, hi, &mut sc).unwrap();
+        let mut sf = IoSession::new();
+        let got = comp.scan_range(lo, hi, &mut sf).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in want.iter().zip(&got) {
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert!((f64::from(*x) - f64::from(*y)).abs() <= bound);
+            }
+        }
+        assert!(
+            sf.total_bytes() * 4 <= sc.total_bytes(),
+            "lossy cold scan must move ≥4× fewer device bytes: {} vs {}",
+            sf.total_bytes(),
+            sc.total_bytes()
+        );
+    }
+
+    #[test]
+    fn transient_faults_on_compressed_partition_retry_byte_identical() {
+        let dir = tmpdir("comp_transient");
+        let keys: Vec<(u32, u64)> = (0u32..150).map(|i| (0, u64::from(i))).collect();
+        let plan = FaultPlan::new(66)
+            .with_rule(FaultRule::transient_reads(0.4))
+            .shared();
+        let path = dir.join("comp_f.tdb");
+        let mut w = PartitionWriter::create_with(&path, 1, CompressionConfig::lossless()).unwrap();
+        for &(ts, z) in &keys {
+            w.append(smooth_rec(ts, z)).unwrap();
+        }
+        w.finish().unwrap();
+        let mut reg = crate::device::DeviceRegistry::new();
+        let dev = reg.register(crate::device::DeviceProfile::hdd_array());
+        let pool = Arc::new(BlockCache::with_faults(1 << 22, Some(plan.clone())));
+        let faulted = PartitionReader::open(&path, 1, dev, pool).unwrap();
+        let clean = build_codec(&dir, "comp_c", &keys, CompressionConfig::lossless());
+        let lo = AtomKey::new(0, 0);
+        let hi = AtomKey::new(0, 149);
+        let mut sf = IoSession::new();
+        let got = faulted.scan_range(lo, hi, &mut sf).unwrap();
+        let mut sc = IoSession::new();
+        let want = clean.scan_range(lo, hi, &mut sc).unwrap();
+        assert_eq!(got, want, "retried compressed scan must be byte-identical");
+        assert!(plan.counts().transient > 0, "some faults must have fired");
     }
 
     proptest! {

@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use tdb_compress::CompressionConfig;
 use tdb_zorder::ZRange;
 
 use crate::device::{DeviceId, IoSession};
@@ -31,18 +32,24 @@ pub struct TableBuilder {
 
 impl TableBuilder {
     /// Creates partition files `dir/{name}_part{i}.tdb`, one per z-range,
-    /// assigned round-robin to `devices` (the node's disk arrays).
+    /// assigned round-robin to `devices` (the node's disk arrays), with
+    /// blocks written under `codec` ([`CompressionConfig::default`] keeps
+    /// the seed on-disk format byte for byte).
     pub fn new(
         dir: impl AsRef<Path>,
         name: &str,
         ncomp: u8,
         zones: Vec<ZRange>,
         devices: &[DeviceId],
+        codec: CompressionConfig,
     ) -> StorageResult<Self> {
         assert!(!zones.is_empty(), "table needs at least one partition");
         assert!(!devices.is_empty(), "table needs at least one device");
         assert!(
-            zones.windows(2).all(|w| w[0].end < w[1].start),
+            zones
+                .iter()
+                .zip(zones.iter().skip(1))
+                .all(|(a, b)| a.end < b.start),
             "partition z-ranges must be sorted and disjoint"
         );
         let dir = dir.as_ref();
@@ -50,11 +57,11 @@ impl TableBuilder {
         let mut writers = Vec::with_capacity(zones.len());
         let mut paths = Vec::with_capacity(zones.len());
         let mut devs = Vec::with_capacity(zones.len());
-        for (i, _) in zones.iter().enumerate() {
+        for (i, dev) in devices.iter().cycle().take(zones.len()).enumerate() {
             let path = dir.join(format!("{name}_part{i}.tdb"));
-            writers.push(PartitionWriter::create(&path, ncomp)?);
+            writers.push(PartitionWriter::create_with(&path, ncomp, codec)?);
             paths.push(path);
-            devs.push(devices[i % devices.len()]);
+            devs.push(*dev);
         }
         Ok(Self {
             name: name.to_string(),
@@ -93,12 +100,14 @@ impl TableBuilder {
                 .zones
                 .partition_point(|z| z.end < rec.key.zindex)
                 .min(self.zones.len() - 1);
-            if !self.zones[zone].contains(rec.key.zindex) {
-                return Err(StorageError::KeyOrder {
-                    detail: format!("zindex {} outside every partition zone", rec.key.zindex),
-                });
+            match (self.zones.get(zone), self.writers.get_mut(zone)) {
+                (Some(z), Some(w)) if z.contains(rec.key.zindex) => w.append(rec)?,
+                _ => {
+                    return Err(StorageError::KeyOrder {
+                        detail: format!("zindex {} outside every partition zone", rec.key.zindex),
+                    })
+                }
             }
-            self.writers[zone].append(rec)?;
         }
         Ok(())
     }
@@ -107,18 +116,17 @@ impl TableBuilder {
     /// `pool`. `file_id_base` namespaces buffer-pool keys across tables.
     pub fn finish(self, pool: Arc<BlockCache>, file_id_base: u64) -> StorageResult<Table> {
         let mut partitions = Vec::with_capacity(self.writers.len());
-        for (i, w) in self.writers.into_iter().enumerate() {
+        let parts = self
+            .writers
+            .into_iter()
+            .zip(self.paths)
+            .zip(self.devices)
+            .zip(self.zones);
+        for (i, (((w, path), device), zone)) in parts.enumerate() {
             w.finish()?;
-            let reader = PartitionReader::open(
-                &self.paths[i],
-                file_id_base + i as u64,
-                self.devices[i],
-                Arc::clone(&pool),
-            )?;
-            partitions.push(PartitionHandle {
-                zone: self.zones[i],
-                reader,
-            });
+            let reader =
+                PartitionReader::open(&path, file_id_base + i as u64, device, Arc::clone(&pool))?;
+            partitions.push(PartitionHandle { zone, reader });
         }
         Ok(Table {
             name: self.name,
@@ -189,7 +197,13 @@ impl Table {
         zindexes: &[u64],
         session: &mut IoSession,
     ) -> StorageResult<Vec<AtomRecord>> {
-        debug_assert!(zindexes.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        debug_assert!(
+            zindexes
+                .iter()
+                .zip(zindexes.iter().skip(1))
+                .all(|(a, b)| a < b),
+            "sorted unique"
+        );
         let mut runs: Vec<ZRange> = Vec::new();
         for &z in zindexes {
             match runs.last_mut() {
@@ -231,7 +245,15 @@ mod tests {
         let devs: Vec<DeviceId> = (0..2)
             .map(|_| reg.register(DeviceProfile::hdd_array()))
             .collect();
-        let mut b = TableBuilder::new(&dir, "velocity", 1, zones.clone(), &devs).unwrap();
+        let mut b = TableBuilder::new(
+            &dir,
+            "velocity",
+            1,
+            zones.clone(),
+            &devs,
+            CompressionConfig::default(),
+        )
+        .unwrap();
         for t in 0..timesteps {
             let recs: Vec<AtomRecord> = zones
                 .iter()
@@ -293,7 +315,15 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tdb_table_bad_{}", std::process::id()));
         let mut reg = DeviceRegistry::new();
         let d = reg.register(DeviceProfile::hdd_array());
-        let mut b = TableBuilder::new(&dir, "f", 1, vec![ZRange::new(0, 7)], &[d]).unwrap();
+        let mut b = TableBuilder::new(
+            &dir,
+            "f",
+            1,
+            vec![ZRange::new(0, 7)],
+            &[d],
+            CompressionConfig::default(),
+        )
+        .unwrap();
         b.append_timestep(1, vec![rec(1, 0)]).unwrap();
         // timestep going backwards
         assert!(b.append_timestep(0, vec![rec(0, 0)]).is_err());

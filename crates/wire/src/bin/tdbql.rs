@@ -11,6 +11,26 @@
 
 use tdb_core::DerivedField;
 use tdb_wire::Client;
+use tdb_wire::CompressionMode;
+
+/// Renders a byte count in binary units (`1.5 MiB`).
+fn human_bytes(v: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut val = v as f64;
+    let mut unit = "B";
+    for u in UNITS {
+        unit = u;
+        if val < 1024.0 {
+            break;
+        }
+        val /= 1024.0;
+    }
+    if unit == "B" {
+        format!("{v} B")
+    } else {
+        format!("{val:.1} {unit}")
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -45,10 +65,10 @@ fn derived(name: &str) -> DerivedField {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 3 || args[0] != "--connect" {
-        usage();
-    }
-    let addr = &args[1];
+    let (addr, cmd) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(flag), Some(addr), Some(cmd)) if flag == "--connect" => (addr, cmd.as_str()),
+        _ => usage(),
+    };
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
@@ -56,8 +76,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let cmd = args[2].as_str();
-    let rest = &args[3..];
+    let rest = args.get(3..).unwrap_or(&[]);
     let result = run(&mut client, cmd, rest);
     if let Err(e) = result {
         if let Some(tdb_wire::client::ClientError::Busy { retry_ms, .. }) =
@@ -85,6 +104,15 @@ fn run(client: &mut Client, cmd: &str, rest: &[String]) -> Result<(), Box<dyn st
             );
             for (name, ncomp) in info.fields {
                 println!("  field {name} ({ncomp} components)");
+            }
+            let c = info.compression;
+            match c.mode {
+                CompressionMode::Off => println!("  compression off"),
+                CompressionMode::Lossless => println!("  compression lossless"),
+                CompressionMode::Lossy => println!(
+                    "  compression lossy (keyframe stride {}, max error {:e})",
+                    c.stride, c.max_error
+                ),
             }
         }
         ("stats", [f, d, t]) => {
@@ -153,26 +181,29 @@ fn run(client: &mut Client, cmd: &str, rest: &[String]) -> Result<(), Box<dyn st
                 .iter()
                 .map(|s| {
                     let parts: Vec<f64> = s.split(',').map(str::parse).collect::<Result<_, _>>()?;
-                    if parts.len() != 3 {
-                        return Err::<[f64; 3], Box<dyn std::error::Error>>(
+                    match parts.as_slice() {
+                        &[x, y, z] => Ok([x, y, z]),
+                        _ => Err::<[f64; 3], Box<dyn std::error::Error>>(
                             format!("position '{s}' must be X,Y,Z").into(),
-                        );
+                        ),
                     }
-                    Ok([parts[0], parts[1], parts[2]])
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             let values = client.get_points(f, t.parse()?, w.parse()?, &positions)?;
-            for (pos, v) in positions.iter().zip(values) {
-                println!(
-                    "  ({:8.3},{:8.3},{:8.3})  [{:10.4}, {:10.4}, {:10.4}]",
-                    pos[0], pos[1], pos[2], v[0], v[1], v[2]
-                );
+            for (&[px, py, pz], [vx, vy, vz]) in positions.iter().zip(values) {
+                println!("  ({px:8.3},{py:8.3},{pz:8.3})  [{vx:10.4}, {vy:10.4}, {vz:10.4}]");
             }
         }
         ("metrics", []) => {
             let (counters, gauges) = client.metrics()?;
             for (name, v) in counters {
-                println!("  {name} = {v}");
+                // byte counters (io.bytes.*, compress.bytes.*) get a
+                // human-readable rendering next to the exact count
+                if name.contains("bytes") {
+                    println!("  {name} = {v} ({})", human_bytes(v));
+                } else {
+                    println!("  {name} = {v}");
+                }
             }
             for (name, v) in gauges {
                 println!("  {name} = {v} (gauge)");

@@ -4,6 +4,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use tdb_cluster::CompressionConfig;
 use tdb_core::{DegradedInfo, DerivedField, ThresholdPoint, TimeBreakdown};
 use tdb_zorder::Box3;
 
@@ -67,6 +68,9 @@ pub struct DatasetInfo {
     pub dims: (u32, u32, u32),
     pub timesteps: u32,
     pub fields: Vec<(String, u8)>,
+    /// Block codec of the server's raw-field tier (`Off` for servers that
+    /// predate compression).
+    pub compression: CompressionConfig,
 }
 
 /// Threshold answer returned by [`Client::get_threshold`].
@@ -140,11 +144,13 @@ impl Client {
                 dims,
                 timesteps,
                 fields,
+                compression,
             } => Ok(DatasetInfo {
                 dataset,
                 dims,
                 timesteps,
                 fields,
+                compression,
             }),
             _ => Err(ClientError::UnexpectedResponse("info")),
         }

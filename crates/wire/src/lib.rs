@@ -23,3 +23,4 @@ pub use client::Client;
 pub use json::Json;
 pub use proto::{Request, Response};
 pub use server::Server;
+pub use tdb_cluster::{CompressionConfig, CompressionMode};

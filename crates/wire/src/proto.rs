@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use tdb_cluster::{CompressionConfig, CompressionMode};
 use tdb_core::{
     AttrValue, DegradedInfo, DerivedField, FailedNode, QueryTrace, ThresholdPoint, TimeBreakdown,
     TraceSpan,
@@ -70,17 +71,40 @@ fn box_from_json(v: &Json) -> Result<Box3, ProtoError> {
         .as_arr()
         .filter(|a| a.len() == 6)
         .ok_or_else(|| ProtoError("box must be [xl,yl,zl,xu,yu,zu]".into()))?;
-    let mut c = [0u32; 6];
-    for (i, item) in arr.iter().enumerate() {
-        c[i] = item
-            .as_u64()
-            .and_then(|v| u32::try_from(v).ok())
-            .ok_or_else(|| ProtoError("box coordinates must be u32".into()))?;
-    }
-    if c[0] > c[3] || c[1] > c[4] || c[2] > c[5] {
+    let coords = arr
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| ProtoError("box coordinates must be u32".into()))
+        })
+        .collect::<Result<Vec<u32>, ProtoError>>()?;
+    let &[xl, yl, zl, xu, yu, zu] = coords.as_slice() else {
+        return Err(ProtoError("box must be [xl,yl,zl,xu,yu,zu]".into()));
+    };
+    if xl > xu || yl > yu || zl > zu {
         return Err(ProtoError("box lower corner exceeds upper corner".into()));
     }
-    Ok(Box3::new([c[0], c[1], c[2]], [c[3], c[4], c[5]]))
+    Ok(Box3::new([xl, yl, zl], [xu, yu, zu]))
+}
+
+fn compression_to_json(c: &CompressionConfig) -> Json {
+    Json::obj([
+        ("mode", Json::Str(c.mode.as_str().into())),
+        ("stride", Json::Num(f64::from(c.stride))),
+        ("max_error", Json::Num(c.max_error)),
+    ])
+}
+
+fn compression_from_json(v: &Json) -> Result<CompressionConfig, ProtoError> {
+    let mode = str_field(v, "mode")?;
+    let mode = CompressionMode::parse(&mode)
+        .ok_or_else(|| ProtoError(format!("unknown compression mode '{mode}'")))?;
+    Ok(CompressionConfig {
+        mode,
+        stride: u64_field(v, "stride")? as u32,
+        max_error: num_field(v, "max_error")?,
+    })
 }
 
 /// A client request.
@@ -340,7 +364,8 @@ impl Request {
                             .filter(|a| a.len() == 3)
                             .ok_or_else(|| ProtoError("position must be [x,y,z]".into()))?;
                         let c = |i: usize| {
-                            a[i].as_f64()
+                            a.get(i)
+                                .and_then(Json::as_f64)
                                 .filter(|v| v.is_finite())
                                 .ok_or_else(|| ProtoError("coordinate must be finite".into()))
                         };
@@ -394,6 +419,10 @@ pub enum Response {
         dims: (u32, u32, u32),
         timesteps: u32,
         fields: Vec<(String, u8)>,
+        /// Block codec of the raw-field tier. Absent on the wire when
+        /// compression is off, so uncompressed servers keep the original
+        /// wire format.
+        compression: CompressionConfig,
     },
     Threshold {
         points: Vec<ThresholdPoint>,
@@ -498,11 +527,13 @@ fn span_from_json(v: &Json) -> Result<TraceSpan, ProtoError> {
                 .as_arr()
                 .filter(|a| a.len() == 2)
                 .ok_or_else(|| ProtoError("span attr must be [key, value]".into()))?;
-            let key = a[0]
-                .as_str()
+            let key = a
+                .first()
+                .and_then(Json::as_str)
                 .ok_or_else(|| ProtoError("attr key must be a string".into()))?;
-            let val = a[1]
-                .as_str()
+            let val = a
+                .get(1)
+                .and_then(Json::as_str)
                 .ok_or_else(|| ProtoError("attr value must be a string".into()))?;
             Ok((key.to_string(), AttrValue::Str(val.to_string())))
         })
@@ -550,12 +581,14 @@ fn points_from_json(v: &Json) -> Result<Vec<ThresholdPoint>, ProtoError> {
                 .filter(|a| a.len() == 4)
                 .ok_or_else(|| ProtoError("point must be [x,y,z,value]".into()))?;
             let coord = |i: usize| -> Result<u32, ProtoError> {
-                a[i].as_u64()
+                a.get(i)
+                    .and_then(Json::as_u64)
                     .and_then(|v| u32::try_from(v).ok())
                     .ok_or_else(|| ProtoError("point coordinate must be u32".into()))
             };
-            let value = a[3]
-                .as_f64()
+            let value = a
+                .get(3)
+                .and_then(Json::as_f64)
                 .ok_or_else(|| ProtoError("point value must be a number".into()))?;
             Ok(ThresholdPoint::at(
                 coord(0)?,
@@ -651,33 +684,40 @@ impl Response {
                 dims,
                 timesteps,
                 fields,
-            } => Json::obj([
-                ("ok", Json::Str("info".into())),
-                ("dataset", Json::Str(dataset.clone())),
-                (
-                    "dims",
-                    Json::Arr(vec![
-                        Json::Num(f64::from(dims.0)),
-                        Json::Num(f64::from(dims.1)),
-                        Json::Num(f64::from(dims.2)),
-                    ]),
-                ),
-                ("timesteps", Json::Num(f64::from(*timesteps))),
-                (
-                    "fields",
-                    Json::Arr(
-                        fields
-                            .iter()
-                            .map(|(n, c)| {
-                                Json::obj([
-                                    ("name", Json::Str(n.clone())),
-                                    ("ncomp", Json::Num(f64::from(*c))),
-                                ])
-                            })
-                            .collect(),
+                compression,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Str("info".into())),
+                    ("dataset", Json::Str(dataset.clone())),
+                    (
+                        "dims",
+                        Json::Arr(vec![
+                            Json::Num(f64::from(dims.0)),
+                            Json::Num(f64::from(dims.1)),
+                            Json::Num(f64::from(dims.2)),
+                        ]),
                     ),
-                ),
-            ]),
+                    ("timesteps", Json::Num(f64::from(*timesteps))),
+                    (
+                        "fields",
+                        Json::Arr(
+                            fields
+                                .iter()
+                                .map(|(n, c)| {
+                                    Json::obj([
+                                        ("name", Json::Str(n.clone())),
+                                        ("ncomp", Json::Num(f64::from(*c))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if compression.is_active() {
+                    pairs.push(("compression", compression_to_json(compression)));
+                }
+                Json::obj(pairs)
+            }
             Response::Threshold {
                 points,
                 breakdown,
@@ -838,7 +878,7 @@ impl Response {
                     .and_then(Json::as_arr)
                     .filter(|a| a.len() == 3)
                     .ok_or_else(|| ProtoError("dims must be [nx,ny,nz]".into()))?;
-                let d = |i: usize| dims[i].as_u64().unwrap_or(0) as u32;
+                let d = |i: usize| dims.get(i).and_then(Json::as_u64).unwrap_or(0) as u32;
                 let fields = v
                     .get("fields")
                     .and_then(Json::as_arr)
@@ -851,6 +891,10 @@ impl Response {
                     dims: (d(0), d(1), d(2)),
                     timesteps: u64_field(v, "timesteps")? as u32,
                     fields,
+                    compression: match v.get("compression") {
+                        Some(c) => compression_from_json(c)?,
+                        None => CompressionConfig::default(),
+                    },
                 })
             }
             "threshold" => Ok(Response::Threshold {
@@ -922,10 +966,11 @@ impl Response {
                                 .as_arr()
                                 .filter(|a| a.len() == 2)
                                 .ok_or_else(|| ProtoError("metric must be [name, value]".into()))?;
-                            let name = a[0]
-                                .as_str()
+                            let name = a
+                                .first()
+                                .and_then(Json::as_str)
                                 .ok_or_else(|| ProtoError("metric name must be a string".into()))?;
-                            let val = a[1].as_f64().ok_or_else(|| {
+                            let val = a.get(1).and_then(Json::as_f64).ok_or_else(|| {
                                 ProtoError("metric value must be a number".into())
                             })?;
                             Ok((name.to_string(), val))
@@ -962,7 +1007,8 @@ impl Response {
                             .filter(|a| a.len() == 3)
                             .ok_or_else(|| ProtoError("value must be [x,y,z]".into()))?;
                         let c = |i: usize| {
-                            a[i].as_f64()
+                            a.get(i)
+                                .and_then(Json::as_f64)
                                 .map(|v| v as f32)
                                 .ok_or_else(|| ProtoError("component must be a number".into()))
                         };
@@ -1066,6 +1112,21 @@ mod tests {
             dims: (64, 64, 64),
             timesteps: 4,
             fields: vec![("velocity".into(), 3), ("pressure".into(), 1)],
+            compression: CompressionConfig::default(),
+        });
+        roundtrip_resp(Response::Info {
+            dataset: "mhd64".into(),
+            dims: (64, 64, 64),
+            timesteps: 4,
+            fields: vec![("velocity".into(), 3)],
+            compression: CompressionConfig::lossless(),
+        });
+        roundtrip_resp(Response::Info {
+            dataset: "mhd64".into(),
+            dims: (64, 64, 64),
+            timesteps: 4,
+            fields: vec![("velocity".into(), 3)],
+            compression: CompressionConfig::lossy(2, 1e-3),
         });
         roundtrip_resp(Response::Threshold {
             points: vec![
@@ -1210,6 +1271,26 @@ mod tests {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn info_without_compression_member_decodes_as_off() {
+        // a pre-compression server's info document still parses
+        let legacy = r#"{"ok":"info","dataset":"d","dims":[8,8,8],"timesteps":1,"fields":[]}"#;
+        let back = Response::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        let Response::Info { compression, .. } = back else {
+            panic!()
+        };
+        assert_eq!(compression.mode, CompressionMode::Off);
+        // and an off-mode server emits exactly that legacy document shape
+        let off = Response::Info {
+            dataset: "d".into(),
+            dims: (8, 8, 8),
+            timesteps: 1,
+            fields: vec![],
+            compression: CompressionConfig::default(),
+        };
+        assert!(!off.to_json().encode().contains("compression"));
     }
 
     #[test]

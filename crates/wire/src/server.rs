@@ -417,6 +417,7 @@ pub fn execute(request: &Request, service: &TurbulenceService) -> Response {
                     .into_iter()
                     .map(|f| (f.name.to_string(), f.ncomp as u8))
                     .collect(),
+                compression: service.cluster().config().compression,
             }
         }
         Request::GetThreshold {

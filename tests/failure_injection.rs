@@ -321,6 +321,122 @@ fn combined_faults_still_complete_a_full_box_query() {
     }
 }
 
+/// Same shape as [`build_faulted`] but with a storage codec.
+fn build_codec(
+    tag: &str,
+    codec: tdb_cluster::CompressionConfig,
+    plan: Option<Arc<FaultPlan>>,
+) -> (TurbulenceService, std::path::PathBuf) {
+    let dir = tdb_bench::scratch_dir(tag);
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            compression: codec,
+            faults: plan,
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: dir.clone(),
+    };
+    (TurbulenceService::build(config).expect("build"), dir)
+}
+
+#[test]
+fn lossy_tier_under_transient_faults_stays_within_bound() {
+    // transient read faults retry over *compressed* blocks too, and the
+    // decoded samples a cutout returns still honour the codec's bound
+    // against the uncompressed archive
+    let bound = 1e-2;
+    let plan = FaultPlan::new(0x5eed)
+        .with_rule(FaultRule::transient_reads(0.25))
+        .shared();
+    let (lossy, _dir) = build_codec(
+        "fi_lossy",
+        tdb_cluster::CompressionConfig::lossy(2, bound),
+        Some(Arc::clone(&plan)),
+    );
+    let (clean, _dir) = build("fi_lossy_ref");
+    lossy.cluster().clear_buffer_pools();
+    let full = lossy.full_box();
+    let (a, _) = lossy
+        .get_cutout("velocity", 0, &full)
+        .expect("lossy cutout");
+    let (b, _) = clean
+        .get_cutout("velocity", 0, &full)
+        .expect("clean cutout");
+    for c in 0..3 {
+        for (x, y) in a.comp(c).as_slice().iter().zip(b.comp(c).as_slice()) {
+            assert!(
+                (f64::from(*x) - f64::from(*y)).abs() <= bound,
+                "decoded {x} vs original {y} breaks the {bound} bound"
+            );
+        }
+    }
+    assert!(
+        plan.counts().transient > 0,
+        "seed 0x5eed must fire at least one transient fault"
+    );
+}
+
+#[test]
+fn corrupted_compressed_partition_fails_loudly() {
+    // CRC protection covers compressed partitions identically: a flipped
+    // byte is a loud backend error, never a silently wrong decode
+    let (service, dir) = build_codec(
+        "fi_comp_corrupt",
+        tdb_cluster::CompressionConfig::lossless(),
+        None,
+    );
+    let q = curl_query().without_cache();
+    service.get_threshold(&q).expect("pre-corruption query");
+    assert!(corrupt_velocity_partitions(&dir) > 0, "no partitions found");
+    service.cluster().clear_buffer_pools();
+    match service.get_threshold(&q) {
+        Err(QueryError::Backend(msg)) => {
+            assert!(
+                msg.contains("corrupt") || msg.contains("crc"),
+                "unexpected backend message: {msg}"
+            );
+        }
+        Ok(_) => panic!("corrupted compressed data must not produce an answer"),
+        Err(other) => panic!("expected Backend error, got {other:?}"),
+    }
+}
+
+#[test]
+fn quarantined_cache_entry_heals_identically_over_compressed_tier() {
+    // the self-heal path recomputes from *decoded* atoms; decode is
+    // deterministic, so the rebuilt entry is byte-identical to the
+    // original cold scan even under a lossy codec
+    let (service, _dir) = build_codec(
+        "fi_comp_heal",
+        tdb_cluster::CompressionConfig::lossy(2, 1e-2),
+        None,
+    );
+    let q = curl_query();
+    let cold = service.get_threshold(&q).expect("cold scan");
+    let warm = service.get_threshold(&q).expect("warm hit");
+    assert_eq!(warm.cache_hits, warm.nodes, "cache should be warm");
+
+    let corrupted = service
+        .cluster()
+        .corrupt_cache_entry("velocity", DerivedField::CurlNorm, 0);
+    assert!(corrupted > 0, "no cached entries to corrupt");
+    service.cluster().clear_buffer_pools();
+
+    let healed = service.get_threshold(&q).expect("healing query");
+    assert_eq!(healed.cache_hits, 0, "a quarantined entry must not answer");
+    assert_eq!(point_bits(&healed.points), point_bits(&cold.points));
+
+    let rewarm = service.get_threshold(&q).expect("rebuilt entry");
+    assert_eq!(rewarm.cache_hits, rewarm.nodes, "healed entry must serve");
+    assert_eq!(point_bits(&rewarm.points), point_bits(&cold.points));
+}
+
 #[test]
 fn cached_results_survive_storage_corruption() {
     // the semantic cache holds *results*, so a warm entry keeps answering
