@@ -241,6 +241,78 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Reader-writer lock without poisoning.
+///
+/// Not wired into the lock-order tracker: shared-mode acquisitions are
+/// legitimately held concurrently (and briefly) across threads, which
+/// the exclusive-lock order graph would misreport as inversions. Keep
+/// critical sections short and never nest another lock under a guard.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.inner.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII shared guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 /// Condition variable usable with [`MutexGuard`].
 #[derive(Debug, Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -367,6 +439,26 @@ mod tests {
         let mut m = Mutex::new(3);
         *m.get_mut() += 1;
         assert_eq!(m.into_inner(), 4);
+    }
+
+    #[test]
+    fn rwlock_reads_share_and_writes_exclude() {
+        let l = Arc::new(RwLock::new(1));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (1, 1));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        // a panicked writer must not poison the lock
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 2);
     }
 
     #[cfg(debug_assertions)]

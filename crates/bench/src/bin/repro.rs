@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `fig2 fig3 fig4 table1 fig7a fig7b fig8 fig9 local
-//! hitratio concurrent compression`. Absolute numbers differ from the
+//! hitratio concurrent compression replication`. Absolute numbers differ from the
 //! paper (simulated cluster, smaller grid); EXPERIMENTS.md records the
 //! paper-vs-measured comparison. `TDB_BENCH_SMOKE=1` shrinks the grid to
 //! 32³ for CI smoke runs.
@@ -20,7 +20,7 @@ use tdb_analysis::{fof_clusters_4d, SpaceTimePoint};
 use tdb_cluster::{ClusterConfig, CompressionConfig};
 use tdb_core::baseline::local_evaluation_estimate;
 use tdb_core::{DerivedField, QueryMode, ServiceConfig, ThresholdQuery, TurbulenceService};
-use tdb_storage::DeviceProfile;
+use tdb_storage::{DeviceProfile, FaultPlan};
 use tdb_turbgen::SyntheticDataset;
 
 /// The paper's threshold selectivities on the MHD dataset: fractions of
@@ -44,6 +44,9 @@ struct Repro {
     concurrency: Vec<Json>,
     /// per-codec byte/accuracy sweep rows, written to repro_metrics.json
     compression: Vec<Json>,
+    /// availability/tail-latency vs replication factor rows, written to
+    /// repro_metrics.json
+    replication: Vec<Json>,
 }
 
 fn main() {
@@ -62,6 +65,7 @@ fn main() {
             "hitratio",
             "concurrent",
             "compression",
+            "replication",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -90,6 +94,7 @@ fn main() {
         results: Vec::new(),
         concurrency: Vec::new(),
         compression: Vec::new(),
+        replication: Vec::new(),
     };
     for exp in wanted {
         let t = std::time::Instant::now();
@@ -106,6 +111,7 @@ fn main() {
             "hitratio" => repro.hitratio(),
             "concurrent" => repro.concurrent(),
             "compression" => repro.compression(),
+            "replication" => repro.replication(),
             other => eprintln!("unknown experiment '{other}', skipping"),
         }
         repro.results.push(Json::obj([
@@ -131,6 +137,7 @@ fn main() {
     let metrics_doc = Json::obj([
         ("concurrency", Json::Arr(repro.concurrency.clone())),
         ("compression", Json::Arr(repro.compression.clone())),
+        ("replication", Json::Arr(repro.replication.clone())),
         (
             "counters",
             Json::Obj(
@@ -716,6 +723,74 @@ impl Repro {
              \x20configured bound, and derived values — CurlNorm differentiates the\n\
              \x20samples — inherit a finite-difference-amplified but still proportional\n\
              \x20error, the max |Δvalue| column — see DESIGN.md §10)\n"
+        );
+    }
+
+    /// Availability and modelled tail latency of cold threshold scans
+    /// against a 4-node cluster with one node killed, as the replication
+    /// factor grows. At k=1 every whole-box query loses the dead node's
+    /// boxes; at k≥2 read failover completes every answer, paying a
+    /// failover round on the latency tail.
+    fn replication(&mut self) {
+        println!("---- replication: availability / tail latency vs k, one node down ----");
+        let n = self.grid_n.min(64);
+        let mut thresh: Option<f64> = None;
+        println!(
+            "{:>3} | {:>12} | {:>9} | {:>9} | {:>9}",
+            "k", "availability", "p50 (s)", "p95 (s)", "max (s)"
+        );
+        for k in [1usize, 2, 3] {
+            let plan = FaultPlan::new(0x7411).shared();
+            let faults = std::sync::Arc::clone(&plan);
+            let svc = build_service_with(n, 1, 4, &format!("repro_repl_{k}"), |c| {
+                c.replication = tdb_cluster::ReplicationConfig::k(k);
+                c.faults = Some(faults);
+            });
+            let thr = *thresh.get_or_insert_with(|| {
+                svc.threshold_for_fraction("velocity", DerivedField::CurlNorm, 0, FRACTIONS[1].0)
+                    .expect("threshold")
+            });
+            plan.set_node_down(2, true);
+            let total = 12usize;
+            let mut complete = 0usize;
+            let mut lat = Vec::with_capacity(total);
+            for _ in 0..total {
+                let q = ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, thr)
+                    .without_cache();
+                svc.cluster().clear_buffer_pools();
+                let r = svc.get_threshold(&q).expect("query under a dead node");
+                if r.degraded.is_none() {
+                    complete += 1;
+                }
+                lat.push(r.breakdown.total_s());
+            }
+            lat.sort_by(f64::total_cmp);
+            let availability = complete as f64 / total as f64;
+            let p50 = lat[total / 2];
+            let p95 = lat[(total * 95) / 100];
+            let max = lat[total - 1];
+            println!(
+                "{k:>3} | {:>11.0}% | {p50:>9.3} | {p95:>9.3} | {max:>9.3}",
+                availability * 100.0
+            );
+            let row = Json::obj([
+                ("k", Json::Num(k as f64)),
+                ("availability", Json::Num(availability)),
+                ("queries", Json::Num(total as f64)),
+                ("p50_s", Json::Num(p50)),
+                ("p95_s", Json::Num(p95)),
+                ("max_s", Json::Num(max)),
+            ]);
+            self.replication.push(row.clone());
+            self.results.push(Json::obj([
+                ("experiment", Json::Str("replication".into())),
+                ("row", row),
+            ]));
+        }
+        println!(
+            "(k=1 answers lose the dead node's boxes — availability 0% for whole-box\n\
+             \x20queries; k>=2 completes everything via read failover, and the extra\n\
+             \x20failover round shows up in the latency tail)\n"
         );
     }
 

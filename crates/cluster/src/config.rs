@@ -5,6 +5,64 @@ use std::sync::Arc;
 use tdb_kernels::FdOrder;
 use tdb_storage::{CompressionConfig, CompressionMode, EvictionPolicyKind, FaultPlan};
 
+use crate::placement::PlacementMode;
+
+/// How the mediator reads in the presence of replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Only primaries are scanned; a dead primary degrades its boxes
+    /// (the pre-replication behaviour, and the only choice at k=1).
+    PrimaryOnly,
+    /// A failed or deadline-blown primary's chunks are re-scanned on the
+    /// next live replica in the chain, so the answer stays complete.
+    Failover,
+}
+
+/// k-way partition replication (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Copies of every chunk, on `k` distinct nodes. 1 = no replication.
+    pub k: usize,
+    /// Read-side failover policy.
+    pub read_policy: ReadPolicy,
+    /// How replica chains are derived. [`PlacementMode::Rendezvous`] is
+    /// required for node join/leave rebalancing.
+    pub placement: PlacementMode,
+    /// Device sets provisioned ahead for future `join_node` calls
+    /// (a simulated cluster racks its spare hardware at build time).
+    pub spare_nodes: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            k: 1,
+            read_policy: ReadPolicy::Failover,
+            placement: PlacementMode::Contiguous,
+            spare_nodes: 0,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// `k` copies with read failover over the default placement.
+    pub fn k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// `k` copies over rendezvous placement (join/leave capable).
+    pub fn rendezvous(k: usize) -> Self {
+        Self {
+            k,
+            placement: PlacementMode::Rendezvous,
+            ..Self::default()
+        }
+    }
+}
+
 /// Shape and sizing of the simulated analysis cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -50,6 +108,10 @@ pub struct ClusterConfig {
     /// keeps the seed on-disk format byte for byte; `Lossless` and
     /// `Lossy` write self-describing compressed blocks (DESIGN.md §10).
     pub compression: CompressionConfig,
+    /// k-way partition replication with read failover (DESIGN.md §11).
+    /// The default (`k = 1`, contiguous placement) reproduces the
+    /// unreplicated layout byte for byte.
+    pub replication: ReplicationConfig,
 }
 
 /// Scan-scheduler batching knobs.
@@ -87,6 +149,7 @@ impl Default for ClusterConfig {
             coalesce: None,
             faults: None,
             compression: CompressionConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -123,6 +186,13 @@ impl ClusterConfig {
                 "lossy compression needs a finite non-negative max_error"
             );
         }
+        let r = self.replication;
+        assert!(
+            (1..=self.num_nodes).contains(&r.k),
+            "replication factor {} must be in 1..=num_nodes ({})",
+            r.k,
+            self.num_nodes
+        );
     }
 }
 
@@ -143,6 +213,28 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn validate_rejects_indivisible_grid() {
         ClusterConfig::default().validate((48, 64, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn validate_rejects_k_beyond_nodes() {
+        let c = ClusterConfig {
+            num_nodes: 2,
+            replication: ReplicationConfig::k(3),
+            ..Default::default()
+        };
+        c.validate((64, 64, 64));
+    }
+
+    #[test]
+    fn default_replication_is_single_copy() {
+        let r = ReplicationConfig::default();
+        assert_eq!(r.k, 1);
+        assert_eq!(r.placement, PlacementMode::Contiguous);
+        assert_eq!(
+            ReplicationConfig::rendezvous(2).placement,
+            PlacementMode::Rendezvous
+        );
     }
 
     #[test]

@@ -20,20 +20,22 @@ pub mod cputime;
 pub mod mediator;
 pub mod node;
 pub mod placement;
+pub mod rebalance;
 pub mod scan;
 pub mod scheduler;
 pub mod sim;
 pub mod timing;
 pub mod wire;
 
-pub use config::{ClusterConfig, CoalesceConfig};
+pub use config::{ClusterConfig, CoalesceConfig, ReadPolicy, ReplicationConfig};
 pub use mediator::{
     BatchAnswer, BatchQuery, Cluster, ClusterBuilder, DegradedInfo, FailedNode, PdfResponse,
     ThresholdResponse, TopKResponse,
 };
 pub use node::{QueryMode, ThresholdSubquery};
-pub use placement::{Chunk, Layout};
-pub use scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
+pub use placement::{Chunk, Layout, PlacementMode};
+pub use rebalance::RebalanceReport;
+pub use scan::{ScanAssignment, ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
 pub use sim::NodeTimeModel;
 pub use tdb_storage::{CompressionConfig, CompressionMode};
 pub use timing::TimeBreakdown;

@@ -6,10 +6,11 @@
 //! Web-server assembles the results from the distributed computation and
 //! sends them back to the client." (paper §2)
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use tdb_cache::{CacheStats, ThresholdPoint};
 use tdb_field::{Grid3, Histogram, VectorField};
 use tdb_kernels::{DerivedField, DiffScheme};
@@ -20,10 +21,10 @@ use tdb_storage::{
 };
 use tdb_zorder::{AtomCoord, Box3, ZRange};
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, ReadPolicy};
 use crate::node::{NodeResult, NodeRuntime, QueryMode};
-use crate::placement::Layout;
-use crate::scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
+use crate::placement::{Chunk, Layout};
+use crate::scan::{ScanAssignment, ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
 use crate::scheduler::ScanScheduler;
 use crate::sim::NodeTimeModel;
 use crate::timing::TimeBreakdown;
@@ -246,6 +247,56 @@ pub struct TopKResponse {
     pub degraded: Option<DegradedInfo>,
 }
 
+/// The devices racked for one node: its disk arrays, semantic-cache SSD
+/// and I/O controller. Kept after build so rebalancing can rebuild a
+/// node's tables against the same simulated hardware.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeDevices {
+    pub arrays: Vec<DeviceId>,
+    pub ssd: DeviceId,
+    pub controller: DeviceId,
+}
+
+/// Mutable cluster-membership state, serialized under one lock so joins
+/// and leaves cannot interleave.
+pub(crate) struct RebalanceState {
+    /// Devices of every node id ever racked (index = node id).
+    pub node_devices: Vec<NodeDevices>,
+    /// Pre-registered device sets for future [`Cluster::join_node`] calls
+    /// ([`crate::config::ReplicationConfig::spare_nodes`]).
+    pub spares: Vec<NodeDevices>,
+    /// Next unused partition-file id block (file ids advance by 1024 per
+    /// table so fault rules can target files of rebuilt nodes too).
+    pub next_file_id: u64,
+}
+
+/// One immutable topology generation: the placement snapshot plus the
+/// node runtimes serving it. Queries grab an `Arc<Topology>` once and run
+/// entirely against it, so a concurrent join/leave installing the next
+/// generation never tears an in-flight scan.
+pub(crate) struct Topology {
+    pub layout: Arc<Layout>,
+    /// Runtimes indexed by node id; `None` marks a departed node.
+    pub nodes: Vec<Option<Arc<NodeRuntime>>>,
+    /// Monotone generation counter, bumped per join/leave.
+    pub epoch: u64,
+}
+
+impl Topology {
+    /// Live `(node id, runtime)` pairs in id order.
+    pub fn live(&self) -> impl Iterator<Item = (usize, &Arc<NodeRuntime>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+}
+
 /// Builds a cluster: devices, placement, and bulk-loaded tables.
 pub struct ClusterBuilder {
     config: ClusterConfig,
@@ -255,10 +306,12 @@ pub struct ClusterBuilder {
     registry: DeviceRegistry,
     lan: DeviceId,
     wan: DeviceId,
-    node_ssds: Vec<DeviceId>,
-    node_controllers: Vec<DeviceId>,
+    node_devices: Vec<NodeDevices>,
+    spares: Vec<NodeDevices>,
     builders: Vec<HashMap<String, TableBuilder>>,
     pools: Vec<Arc<BlockCache>>,
+    fields: Vec<(String, u8)>,
+    timesteps: Vec<u32>,
     dir: PathBuf,
 }
 
@@ -272,26 +325,30 @@ impl ClusterBuilder {
         config: ClusterConfig,
     ) -> StorageResult<Self> {
         config.validate(grid.dims());
-        let layout = Arc::new(Layout::new(
+        let layout = Arc::new(Layout::with_replication(
             grid.dims(),
             config.chunk_atoms,
             config.num_nodes,
+            config.replication.k,
+            config.replication.placement,
         ));
         let mut registry = DeviceRegistry::new();
         let lan = registry.register(DeviceProfile::lan());
         let wan = registry.register(DeviceProfile::user_wan());
+        let rack = |registry: &mut DeviceRegistry| NodeDevices {
+            arrays: (0..config.arrays_per_node)
+                .map(|_| registry.register(DeviceProfile::hdd_array()))
+                .collect(),
+            ssd: registry.register(DeviceProfile::ssd()),
+            controller: registry.register(DeviceProfile::node_controller()),
+        };
         let dir = dir.as_ref().to_path_buf();
         let mut builders: Vec<HashMap<String, TableBuilder>> = Vec::with_capacity(config.num_nodes);
         let mut pools = Vec::with_capacity(config.num_nodes);
-        let mut node_ssds = Vec::with_capacity(config.num_nodes);
-        let mut node_controllers = Vec::with_capacity(config.num_nodes);
+        let mut node_devices = Vec::with_capacity(config.num_nodes);
         for node in 0..config.num_nodes {
-            let arrays: Vec<DeviceId> = (0..config.arrays_per_node)
-                .map(|_| registry.register(DeviceProfile::hdd_array()))
-                .collect();
-            node_ssds.push(registry.register(DeviceProfile::ssd()));
-            node_controllers.push(registry.register(DeviceProfile::node_controller()));
-            let zones = split_zones(&layout.zranges_of_node(node), config.arrays_per_node);
+            let devices = rack(&mut registry);
+            let zones = split_zones(&layout.stored_zranges_of_node(node), config.arrays_per_node);
             let node_dir = dir.join(format!("node{node}"));
             let mut per_field = HashMap::new();
             for &(name, ncomp) in fields {
@@ -302,11 +359,12 @@ impl ClusterBuilder {
                         name,
                         ncomp,
                         zones.clone(),
-                        &arrays,
+                        &devices.arrays,
                         config.compression,
                     )?,
                 );
             }
+            node_devices.push(devices);
             builders.push(per_field);
             pools.push(Arc::new(BlockCache::with_policy(
                 config.bufferpool_bytes,
@@ -314,6 +372,11 @@ impl ClusterBuilder {
                 config.faults.clone(),
             )));
         }
+        // spare hardware for future join_node calls is racked now: the
+        // device registry is frozen once the cluster is running
+        let spares = (0..config.replication.spare_nodes)
+            .map(|_| rack(&mut registry))
+            .collect();
         Ok(Self {
             config,
             dataset: dataset.to_string(),
@@ -322,16 +385,23 @@ impl ClusterBuilder {
             registry,
             lan,
             wan,
-            node_ssds,
-            node_controllers,
+            node_devices,
+            spares,
             builders,
             pools,
+            fields: fields
+                .iter()
+                .map(|&(name, ncomp)| (name.to_string(), ncomp))
+                .collect(),
+            timesteps: Vec::new(),
             dir,
         })
     }
 
     /// Ingests one field of one time-step. `extract(atom)` returns the
-    /// atom's payload (`ncomp × 512` values, component-major).
+    /// atom's payload (`ncomp × 512` values, component-major). With
+    /// replication every node stores all `k` chains it belongs to, so an
+    /// atom is ingested once per replica.
     pub fn ingest_timestep(
         &mut self,
         timestep: u32,
@@ -339,8 +409,11 @@ impl ClusterBuilder {
         ncomp: u8,
         extract: impl Fn(AtomCoord) -> Vec<f32> + Sync,
     ) -> StorageResult<()> {
+        if !self.timesteps.contains(&timestep) {
+            self.timesteps.push(timestep);
+        }
         for (node, per_field) in self.builders.iter_mut().enumerate() {
-            let zones = self.layout.zranges_of_node(node);
+            let zones = self.layout.stored_zranges_of_node(node);
             let mut records = Vec::new();
             for zr in zones {
                 for code in zr.start..=zr.end {
@@ -363,16 +436,11 @@ impl ClusterBuilder {
         let scheme = Arc::new(DiffScheme::new(&self.grid, self.config.fd_order));
         let mut nodes = Vec::with_capacity(self.config.num_nodes);
         let mut file_id = 0u64;
-        let devices = self
-            .node_ssds
-            .iter()
-            .copied()
-            .zip(self.node_controllers.iter().copied());
-        for (node, ((per_field, pool), (ssd, controller))) in self
+        for (node, ((per_field, pool), devices)) in self
             .builders
             .into_iter()
             .zip(&self.pools)
-            .zip(devices)
+            .zip(&self.node_devices)
             .enumerate()
         {
             let mut tables = HashMap::new();
@@ -381,33 +449,43 @@ impl ClusterBuilder {
                 file_id += 1024;
                 tables.insert(name, table);
             }
-            nodes.push(Arc::new(NodeRuntime::new(
+            nodes.push(Some(Arc::new(NodeRuntime::new(
                 node,
                 tables,
                 Arc::clone(pool),
-                ssd,
-                controller,
+                devices.ssd,
+                devices.controller,
                 self.config.compute_scale,
                 self.config.synthetic_compute_s_per_point,
                 self.config.cache_budget_bytes,
-                Arc::clone(&self.layout),
                 Arc::clone(&self.grid),
                 Arc::clone(&scheme),
                 Arc::clone(&registry),
                 self.lan,
                 self.config.faults.clone(),
-            )));
+            ))));
         }
         let scheduler = self.config.coalesce.map(ScanScheduler::new);
         Ok(Cluster {
             config: self.config,
             dataset: self.dataset,
             grid: self.grid,
-            layout: self.layout,
             registry,
+            scheme,
             lan: self.lan,
             wan: self.wan,
-            nodes,
+            topology: RwLock::new(Arc::new(Topology {
+                layout: self.layout,
+                nodes,
+                epoch: 0,
+            })),
+            fields: self.fields,
+            timesteps: self.timesteps,
+            rebalance: Mutex::new(RebalanceState {
+                node_devices: self.node_devices,
+                spares: self.spares,
+                next_file_id: file_id,
+            }),
             scheduler,
             dir: self.dir,
         })
@@ -416,7 +494,7 @@ impl ClusterBuilder {
 
 /// Splits a node's merged z-ranges into `k` contiguous pieces of roughly
 /// equal atom count — one partition file per disk array.
-fn split_zones(zones: &[ZRange], k: usize) -> Vec<ZRange> {
+pub(crate) fn split_zones(zones: &[ZRange], k: usize) -> Vec<ZRange> {
     let total: u64 = zones.iter().map(ZRange::len).sum();
     let k = (k as u64).min(total).max(1);
     let per = total.div_ceil(k);
@@ -435,21 +513,53 @@ fn split_zones(zones: &[ZRange], k: usize) -> Vec<ZRange> {
     out
 }
 
+/// One node's share of a scatter wave: which chunks it was asked to scan
+/// and what came back. `chunk_idxs` (indices into `Layout::chunks`) are
+/// kept so a failed node orphans exactly its own assignment — including
+/// failover chunks it inherited in a previous round — and nothing else.
+struct WaveEntry {
+    node: usize,
+    chunk_idxs: Vec<usize>,
+    result: StorageResult<Vec<SharedOutcome>>,
+}
+
+/// The sub-boxes of `query_box` whose primary owner failed — exactly the
+/// regions a degraded answer is missing.
+fn missing_boxes(layout: &Layout, failed: &[FailedNode], query_box: &Box3) -> Vec<Box3> {
+    let mut out = Vec::new();
+    for f in failed {
+        for c in layout.chunks_of_node(f.node) {
+            if let Some(b) = c.grid_box().intersect(query_box) {
+                out.push(b);
+            }
+        }
+    }
+    out
+}
+
 /// The running cluster: mediator entry points.
 pub struct Cluster {
-    config: ClusterConfig,
-    dataset: String,
-    grid: Arc<Grid3>,
-    layout: Arc<Layout>,
-    registry: Arc<DeviceRegistry>,
-    lan: DeviceId,
-    wan: DeviceId,
-    nodes: Vec<Arc<NodeRuntime>>,
+    pub(crate) config: ClusterConfig,
+    pub(crate) dataset: String,
+    pub(crate) grid: Arc<Grid3>,
+    pub(crate) registry: Arc<DeviceRegistry>,
+    pub(crate) scheme: Arc<DiffScheme>,
+    pub(crate) lan: DeviceId,
+    pub(crate) wan: DeviceId,
+    /// The current topology generation. Queries snapshot the `Arc` once
+    /// and never observe a half-installed join/leave.
+    pub(crate) topology: RwLock<Arc<Topology>>,
+    /// `(name, ncomp)` of every stored field — needed to rebuild tables
+    /// when nodes join or leave.
+    pub(crate) fields: Vec<(String, u8)>,
+    /// Every ingested time-step, in ingest order.
+    pub(crate) timesteps: Vec<u32>,
+    /// Membership-change state; the lock serializes joins/leaves.
+    pub(crate) rebalance: Mutex<RebalanceState>,
     /// `Some` when [`ClusterConfig::coalesce`] is set: queries route
     /// through the scan scheduler and may share atom scans.
     scheduler: Option<ScanScheduler>,
-    #[allow(dead_code)]
-    dir: PathBuf,
+    pub(crate) dir: PathBuf,
 }
 
 impl Cluster {
@@ -468,9 +578,19 @@ impl Cluster {
         &self.grid
     }
 
-    /// Placement map.
-    pub fn layout(&self) -> &Layout {
-        &self.layout
+    /// The current topology snapshot.
+    pub(crate) fn topology_snapshot(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read())
+    }
+
+    /// The current placement map (a snapshot: joins/leaves replace it).
+    pub fn layout(&self) -> Arc<Layout> {
+        Arc::clone(&self.topology.read().layout)
+    }
+
+    /// Current topology generation (bumped per join/leave).
+    pub fn epoch(&self) -> u64 {
+        self.topology.read().epoch
     }
 
     /// Device registry (for custom time modelling in benches).
@@ -478,9 +598,20 @@ impl Cluster {
         &self.registry
     }
 
-    /// Node runtimes.
-    pub fn nodes(&self) -> &[Arc<NodeRuntime>] {
-        &self.nodes
+    /// The live node runtimes (departed nodes are skipped).
+    pub fn nodes(&self) -> Vec<Arc<NodeRuntime>> {
+        self.topology
+            .read()
+            .nodes
+            .iter()
+            .flatten()
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Ids of the live nodes, ascending.
+    pub fn live_node_ids(&self) -> Vec<usize> {
+        self.topology.read().live().map(|(id, _)| id).collect()
     }
 
     /// The fault plan the cluster was configured with, if any.
@@ -493,16 +624,21 @@ impl Cluster {
         req.procs_override.unwrap_or(self.config.procs_per_node)
     }
 
-    /// Applies the degradation policy to per-node outcomes (indexed by
-    /// node id). A dead node — or one whose modelled time blew the
+    /// Applies the degradation policy to per-node outcomes (tagged with
+    /// node ids). A dead node — or one whose modelled time blew the
     /// deadline — is dropped and recorded in [`DegradedInfo`] together
     /// with exactly the sub-boxes of the query its absence leaves
     /// unanswered; under `strict` the same conditions fail the whole
     /// query. Any other node error always propagates: partial data is
     /// only acceptable for *unavailability*, never for corruption.
+    ///
+    /// This is the `PrimaryOnly` / `k = 1` read path; replicated clusters
+    /// with [`ReadPolicy::Failover`] re-scan a failed node's chunks on
+    /// replicas instead (see [`Self::run_group`]).
     fn degrade_filter<T>(
         &self,
-        outcomes: Vec<StorageResult<T>>,
+        layout: &Layout,
+        outcomes: Vec<(usize, StorageResult<T>)>,
         node_time: impl Fn(&T) -> f64,
         query_box: &Box3,
         strict: bool,
@@ -511,7 +647,7 @@ impl Cluster {
         let mut ok = Vec::new();
         let mut ids = Vec::new();
         let mut failed: Vec<FailedNode> = Vec::new();
-        for (i, r) in outcomes.into_iter().enumerate() {
+        for (i, r) in outcomes.into_iter() {
             match r {
                 Ok(t) => {
                     let modelled = node_time(&t);
@@ -550,7 +686,7 @@ impl Cluster {
         let degraded = if failed.is_empty() {
             None
         } else {
-            let missing_boxes = self.missing_boxes(&failed, query_box);
+            let missing_boxes = missing_boxes(layout, &failed, query_box);
             tdb_obs::add("query.degraded", 1);
             Some(DegradedInfo {
                 failed_nodes: failed,
@@ -558,20 +694,6 @@ impl Cluster {
             })
         };
         Ok((ok, ids, degraded))
-    }
-
-    /// The sub-boxes of `query_box` owned by the failed nodes — exactly
-    /// the regions a degraded answer is missing.
-    fn missing_boxes(&self, failed: &[FailedNode], query_box: &Box3) -> Vec<Box3> {
-        let mut out = Vec::new();
-        for f in failed {
-            for c in self.layout.chunks_of_node(f.node) {
-                if let Some(b) = c.grid_box().intersect(query_box) {
-                    out.push(b);
-                }
-            }
-        }
-        out
     }
 
     /// The cluster-wide I/O phase: nodes run in parallel, so the phase is
@@ -786,8 +908,16 @@ impl Cluster {
             .collect()
     }
 
-    /// Runs one shared-scan group: scatter a [`SharedScanRequest`] to
-    /// every node, then assemble each participant's answer.
+    /// Runs one shared-scan group: scatter a [`SharedScanRequest`] over
+    /// one topology snapshot, then assemble each participant's answer.
+    ///
+    /// With `replication.k > 1` under [`ReadPolicy::Failover`], chunks of
+    /// an unavailable (or deadline-blown) node are re-scattered to the
+    /// next live replica in their chains, round by round, until every
+    /// chunk is answered or its chain is exhausted. A successful failover
+    /// leaves the answer *complete* — no [`DegradedInfo`] — and
+    /// byte-identical to an unfaulted run; only chunks whose whole chain
+    /// died degrade (or fail, under `strict`) the queries they intersect.
     fn run_group(
         &self,
         queries: &[BatchQuery],
@@ -803,99 +933,269 @@ impl Cluster {
             return;
         };
         let procs = self.procs_for(first);
-        let req = SharedScanRequest {
-            dataset: self.dataset.clone(),
-            raw_field: first.raw_field.clone(),
-            derived: first.derived,
-            timestep: first.timestep,
-            mode: first.mode,
-            procs,
-            participants: idxs
-                .iter()
-                .filter_map(|&i| queries.get(i))
-                .map(BatchQuery::participant)
-                .collect(),
-        };
-        let node_outcomes: Vec<StorageResult<Vec<SharedOutcome>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
-                .iter()
-                .map(|node| {
-                    let req = &req;
-                    let nodes = &self.nodes;
-                    scope.spawn(move || node.evaluate_shared(nodes, req))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(StorageError::internal("node evaluation thread panicked"))
-                    })
-                })
-                .collect()
-        });
-        let mut per_node: Vec<StorageResult<Vec<Option<SharedOutcome>>>> = node_outcomes
-            .into_iter()
-            .map(|r| r.map(|v| v.into_iter().map(Some).collect()))
+        let topo = self.topology_snapshot();
+        let layout = Arc::clone(&topo.layout);
+        let live = topo.live_count();
+        let failover = layout.replication_k() > 1
+            && self.config.replication.read_policy == ReadPolicy::Failover;
+        let deadline = first.node_deadline_s;
+        let participants: Vec<ScanParticipant> = idxs
+            .iter()
+            .filter_map(|&i| queries.get(i))
+            .map(BatchQuery::participant)
             .collect();
+        let modelled_time =
+            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s;
+        // one scatter wave: targeted nodes evaluate their assigned chunks
+        // in parallel against the snapshot
+        let scatter = |targets: &[(usize, Vec<usize>)], canonical: bool| -> Vec<WaveEntry> {
+            let mut chunks: Vec<Vec<Chunk>> = vec![Vec::new(); topo.nodes.len()];
+            for (node, cidxs) in targets {
+                let assigned = cidxs
+                    .iter()
+                    .filter_map(|&c| layout.chunks().get(c).copied())
+                    .collect();
+                if let Some(slot) = chunks.get_mut(*node) {
+                    *slot = assigned;
+                }
+            }
+            let assignment = Arc::new(ScanAssignment {
+                layout: Arc::clone(&layout),
+                chunks,
+                canonical,
+            });
+            let req = SharedScanRequest {
+                dataset: self.dataset.clone(),
+                raw_field: first.raw_field.clone(),
+                derived: first.derived,
+                timestep: first.timestep,
+                mode: first.mode,
+                procs,
+                participants: participants.clone(),
+                assignment,
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|(node, _)| {
+                        let req = &req;
+                        let peers = &topo.nodes;
+                        let node = *node;
+                        let runtime = peers.get(node).and_then(Option::as_ref).map(Arc::clone);
+                        scope.spawn(move || match runtime {
+                            Some(runtime) => runtime.evaluate_shared(peers, req),
+                            None => Err(StorageError::NodeUnavailable {
+                                node,
+                                detail: "scatter target is not a live member".into(),
+                            }),
+                        })
+                    })
+                    .collect();
+                targets
+                    .iter()
+                    .zip(handles)
+                    .map(|((node, cidxs), h)| WaveEntry {
+                        node: *node,
+                        chunk_idxs: cidxs.clone(),
+                        result: h.join().unwrap_or_else(|_| {
+                            Err(StorageError::internal("node evaluation thread panicked"))
+                        }),
+                    })
+                    .collect()
+            })
+        };
+        // wave 0: the canonical assignment over every live node. Entries
+        // land in `done` in wave order (node-id order within a wave), so
+        // an unfaulted run is ordered exactly like the pre-failover code.
+        let initial: Vec<(usize, Vec<usize>)> = topo
+            .live()
+            .map(|(id, _)| (id, layout.chunk_indices_of_node(id)))
+            .collect();
+        let mut wave = scatter(&initial, true);
+        let mut done: Vec<(usize, Vec<Option<SharedOutcome>>)> = Vec::new();
+        let mut errors: Vec<(usize, StorageError)> = Vec::new();
+        let mut excluded: HashSet<usize> = HashSet::new();
+        let mut failed_nodes: Vec<FailedNode> = Vec::new();
+        let mut lost_chunks: Vec<usize> = Vec::new();
+        let mut fatal: Option<StorageError> = None;
+        loop {
+            let mut orphans: Vec<usize> = Vec::new();
+            for e in wave.drain(..) {
+                match e.result {
+                    Ok(outs) => {
+                        // under failover a deadline violation is handled
+                        // like an outage: the node's chunks move on
+                        let blown = failover
+                            && deadline.is_some_and(|d| outs.iter().any(|o| modelled_time(o) > d));
+                        if blown {
+                            tdb_obs::add("node.deadline_exceeded", 1);
+                            let t = outs.iter().map(&modelled_time).fold(0.0f64, f64::max);
+                            let d = deadline.unwrap_or_default();
+                            excluded.insert(e.node);
+                            failed_nodes.push(FailedNode {
+                                node: e.node,
+                                reason: format!("deadline exceeded: modelled {t:.3}s > {d:.3}s"),
+                            });
+                            orphans.extend(e.chunk_idxs);
+                        } else {
+                            done.push((e.node, outs.into_iter().map(Some).collect()));
+                        }
+                    }
+                    Err(err) if failover && err.is_unavailable() => {
+                        excluded.insert(e.node);
+                        failed_nodes.push(FailedNode {
+                            node: e.node,
+                            reason: err.to_string(),
+                        });
+                        orphans.extend(e.chunk_idxs);
+                    }
+                    // corruption is never papered over by replicas
+                    Err(err) if failover => {
+                        fatal.get_or_insert(err);
+                    }
+                    Err(err) => errors.push((e.node, err)),
+                }
+            }
+            if fatal.is_some() || orphans.is_empty() {
+                break;
+            }
+            orphans.sort_unstable();
+            orphans.dedup();
+            let mut retargets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for c in orphans {
+                let replacement = layout.replicas_of_chunk(c).iter().copied().find(|r| {
+                    !excluded.contains(r) && topo.nodes.get(*r).is_some_and(Option::is_some)
+                });
+                match replacement {
+                    Some(r) => retargets.entry(r).or_default().push(c),
+                    None => lost_chunks.push(c),
+                }
+            }
+            if retargets.is_empty() {
+                break;
+            }
+            let moved: u64 = retargets.values().map(|v| v.len() as u64).sum();
+            tdb_obs::add("replication.failover.rounds", 1);
+            tdb_obs::add("replication.failover.chunks", moved);
+            let targets: Vec<(usize, Vec<usize>)> = retargets.into_iter().collect();
+            wave = scatter(&targets, false);
+        }
+        if failover && !failed_nodes.is_empty() {
+            tdb_obs::add("replication.failover.nodes", failed_nodes.len() as u64);
+        }
+        if !lost_chunks.is_empty() {
+            tdb_obs::add("replication.lost_chunks", lost_chunks.len() as u64);
+        }
         for (j, &qi) in idxs.iter().enumerate() {
-            let outcomes: Vec<StorageResult<SharedOutcome>> = per_node
-                .iter_mut()
-                .map(|r| match r {
-                    Ok(v) => v
-                        .get_mut(j)
-                        .and_then(Option::take)
-                        .ok_or_else(|| StorageError::internal("participant outcome already taken")),
-                    Err(e) => Err(clone_storage_error(e)),
-                })
-                .collect();
             let Some((query, slot)) = queries.get(qi).zip(answers.get_mut(qi)) else {
                 continue;
             };
-            *slot = Some(self.assemble(query, outcomes, procs, wall));
+            let take_done = |done: &mut Vec<(usize, Vec<Option<SharedOutcome>>)>| {
+                let mut results = Vec::with_capacity(done.len());
+                let mut ids = Vec::with_capacity(done.len());
+                for (node, outs) in done.iter_mut() {
+                    let o = outs.get_mut(j).and_then(Option::take).ok_or_else(|| {
+                        StorageError::internal("participant outcome already taken")
+                    })?;
+                    results.push(o);
+                    ids.push(*node);
+                }
+                Ok((results, ids))
+            };
+            let answer = if let Some(err) = &fatal {
+                Err(clone_storage_error(err))
+            } else if failover {
+                let req = query.request();
+                let missing: Vec<Box3> = lost_chunks
+                    .iter()
+                    .filter_map(|&c| layout.chunks().get(c))
+                    .filter_map(|chunk| chunk.grid_box().intersect(&req.query_box))
+                    .collect();
+                if !missing.is_empty() && req.strict {
+                    Err(StorageError::NodeUnavailable {
+                        node: failed_nodes.first().map_or(0, |f| f.node),
+                        detail: "replica chains exhausted for part of the query box".to_string(),
+                    })
+                } else {
+                    let degraded = if missing.is_empty() {
+                        None
+                    } else {
+                        tdb_obs::add("query.degraded", 1);
+                        Some(DegradedInfo {
+                            failed_nodes: failed_nodes.clone(),
+                            missing_boxes: missing,
+                        })
+                    };
+                    take_done(&mut done).and_then(|(results, ids)| {
+                        self.assemble(query, results, ids, degraded, procs, live, wall)
+                    })
+                }
+            } else {
+                // single-copy / PrimaryOnly: the historical per-node
+                // degradation policy, in node-id order
+                take_done(&mut done).and_then(|(results, ids)| {
+                    let mut outcomes: Vec<(usize, StorageResult<SharedOutcome>)> =
+                        ids.into_iter().zip(results.into_iter().map(Ok)).collect();
+                    for (node, err) in &errors {
+                        outcomes.push((*node, Err(clone_storage_error(err))));
+                    }
+                    outcomes.sort_by_key(|(node, _)| *node);
+                    let req = query.request();
+                    let (results, ids, degraded) = self.degrade_filter(
+                        &layout,
+                        outcomes,
+                        modelled_time,
+                        &req.query_box,
+                        req.strict,
+                        deadline,
+                    )?;
+                    self.assemble(query, results, ids, degraded, procs, live, wall)
+                })
+            };
+            *slot = Some(answer);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         query: &BatchQuery,
-        outcomes: Vec<StorageResult<SharedOutcome>>,
+        results: Vec<SharedOutcome>,
+        node_ids: Vec<usize>,
+        degraded: Option<DegradedInfo>,
         procs: usize,
+        nnodes: usize,
         wall: std::time::Instant,
     ) -> StorageResult<BatchAnswer> {
         match query {
-            BatchQuery::Threshold(req) => self
-                .assemble_threshold(req, outcomes, procs, wall)
+            BatchQuery::Threshold(_) => self
+                .assemble_threshold(results, node_ids, degraded, procs, nnodes, wall)
                 .map(BatchAnswer::Threshold),
             BatchQuery::Pdf {
-                req,
                 origin,
                 width,
                 nbins,
+                ..
             } => self
-                .assemble_pdf(req, *origin, *width, *nbins, outcomes, procs, wall)
+                .assemble_pdf(
+                    *origin, *width, *nbins, results, node_ids, degraded, procs, nnodes, wall,
+                )
                 .map(BatchAnswer::Pdf),
-            BatchQuery::TopK { req, k } => self
-                .assemble_topk(req, *k, outcomes, procs, wall)
+            BatchQuery::TopK { k, .. } => self
+                .assemble_topk(*k, results, node_ids, degraded, procs, nnodes, wall)
                 .map(BatchAnswer::TopK),
         }
     }
 
     fn assemble_threshold(
         &self,
-        req: &ThresholdRequest,
-        outcomes: Vec<StorageResult<SharedOutcome>>,
+        mut results: Vec<SharedOutcome>,
+        node_ids: Vec<usize>,
+        degraded: Option<DegradedInfo>,
         procs: usize,
+        nnodes: usize,
         wall: std::time::Instant,
     ) -> StorageResult<ThresholdResponse> {
-        let (mut results, node_ids, degraded) = self.degrade_filter(
-            outcomes,
-            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
-            &req.query_box,
-            req.strict,
-            req.node_deadline_s,
-        )?;
         let mut points = Vec::new();
         let mut breakdown = TimeBreakdown::default();
         let mut cache_hits = 0;
@@ -920,7 +1220,7 @@ impl Cluster {
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
-            .time(2 * self.nodes.len() as u64, wire::binary_result_bytes(n));
+            .time(2 * nnodes as u64, wire::binary_result_bytes(n));
         breakdown.mediator_user_s = self
             .registry
             .profile(self.wan)
@@ -944,7 +1244,7 @@ impl Cluster {
             points,
             breakdown,
             cache_hits,
-            nodes: self.nodes.len(),
+            nodes: nnodes,
             wall_s,
             node_models,
             trace: Some(trace),
@@ -955,21 +1255,16 @@ impl Cluster {
     #[allow(clippy::too_many_arguments)]
     fn assemble_pdf(
         &self,
-        req: &ThresholdRequest,
         origin: f64,
         width: f64,
         nbins: usize,
-        outcomes: Vec<StorageResult<SharedOutcome>>,
+        mut results: Vec<SharedOutcome>,
+        node_ids: Vec<usize>,
+        degraded: Option<DegradedInfo>,
         procs: usize,
+        nnodes: usize,
         wall: std::time::Instant,
     ) -> StorageResult<PdfResponse> {
-        let (mut results, node_ids, degraded) = self.degrade_filter(
-            outcomes,
-            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
-            &req.query_box,
-            req.strict,
-            req.node_deadline_s,
-        )?;
         let mut hist = Histogram::new(origin, width, nbins);
         let mut breakdown = TimeBreakdown::default();
         for o in &mut results {
@@ -983,7 +1278,7 @@ impl Cluster {
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
-            .time(2 * self.nodes.len() as u64, (nbins as u64 + 1) * 16);
+            .time(2 * nnodes as u64, (nbins as u64 + 1) * 16);
         breakdown.mediator_user_s = self
             .registry
             .profile(self.wan)
@@ -1011,21 +1306,17 @@ impl Cluster {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble_topk(
         &self,
-        req: &ThresholdRequest,
         k: usize,
-        outcomes: Vec<StorageResult<SharedOutcome>>,
+        mut results: Vec<SharedOutcome>,
+        node_ids: Vec<usize>,
+        degraded: Option<DegradedInfo>,
         procs: usize,
+        nnodes: usize,
         wall: std::time::Instant,
     ) -> StorageResult<TopKResponse> {
-        let (mut results, node_ids, degraded) = self.degrade_filter(
-            outcomes,
-            |o: &SharedOutcome| o.result.cache_lookup_s + o.result.io_s + o.result.compute_s,
-            &req.query_box,
-            req.strict,
-            req.node_deadline_s,
-        )?;
         // mirror the historical per-node truncation: each node contributes
         // at most its own top k, then the mediator keeps the global top k
         let mut points = Vec::new();
@@ -1049,7 +1340,7 @@ impl Cluster {
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
-            .time(2 * self.nodes.len() as u64, wire::binary_result_bytes(n));
+            .time(2 * nnodes as u64, wire::binary_result_bytes(n));
         breakdown.mediator_user_s = self
             .registry
             .profile(self.wan)
@@ -1092,20 +1383,12 @@ impl Cluster {
             (hx as usize) < nx && (hy as usize) < ny && (hz as usize) < nz,
             "cutout outside grid"
         );
+        let topo = self.topology_snapshot();
         let mut session = IoSession::new();
         let mut field = VectorField::zeros(nx, ny, nz);
         let mut ncomp = 1u64;
         for atom in cutout.atoms() {
-            let owner = self.layout.node_of_atom(atom);
-            let rec = self
-                .nodes
-                .get(owner)
-                .ok_or_else(|| {
-                    StorageError::internal(format!(
-                        "atom owner {owner} outside cluster of {} nodes",
-                        self.nodes.len()
-                    ))
-                })?
+            let rec = storage_source(&topo, atom)?
                 .fetch_atom(
                     raw_field,
                     AtomKey::new(timestep, atom.zindex()),
@@ -1125,7 +1408,7 @@ impl Cluster {
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
-            .time(2 * self.nodes.len() as u64, npoints * ncomp * 4);
+            .time(2 * topo.live_count() as u64, npoints * ncomp * 4);
         breakdown.mediator_user_s = self
             .registry
             .profile(self.wan)
@@ -1158,6 +1441,7 @@ impl Cluster {
                 v.clamp(0.0, extent - 1.0)
             }
         };
+        let topo = self.topology_snapshot();
         let mut session = IoSession::new();
         let mut out = Vec::with_capacity(positions.len());
         let halo = order.halo();
@@ -1177,17 +1461,12 @@ impl Cluster {
             let needed = needed_atoms(&domain, halo, dims, self.grid.periodic);
             let mut atoms = std::collections::HashMap::new();
             for atom in needed {
-                let owner = self.layout.node_of_atom(atom);
-                let recs = self
-                    .nodes
-                    .get(owner)
-                    .ok_or_else(|| {
-                        StorageError::internal(format!(
-                            "atom owner {owner} outside cluster of {} nodes",
-                            self.nodes.len()
-                        ))
-                    })?
-                    .fetch_atoms(raw_field, timestep, &[atom.zindex()], &mut session)?;
+                let recs = storage_source(&topo, atom)?.fetch_atoms(
+                    raw_field,
+                    timestep,
+                    &[atom.zindex()],
+                    &mut session,
+                )?;
                 let rec = recs.into_iter().next().ok_or_else(|| {
                     tdb_storage::StorageError::MissingData {
                         detail: format!("atom {atom:?} of {raw_field} timestep {timestep}"),
@@ -1206,7 +1485,7 @@ impl Cluster {
         breakdown.mediator_db_s = self
             .registry
             .profile(self.lan)
-            .time(2 * self.nodes.len() as u64, positions.len() as u64 * 12);
+            .time(2 * topo.live_count() as u64, positions.len() as u64 * 12);
         breakdown.mediator_user_s = self
             .registry
             .profile(self.wan)
@@ -1216,7 +1495,7 @@ impl Cluster {
 
     /// Clears every node's semantic cache (cold-cache experiments).
     pub fn clear_caches(&self) {
-        for n in &self.nodes {
+        for n in self.topology.read().nodes.iter().flatten() {
             n.cache.clear();
             n.pdf_cache.clear();
         }
@@ -1230,7 +1509,7 @@ impl Cluster {
             field: format!("{raw_field}/{}", derived.name()),
             timestep,
         };
-        for n in &self.nodes {
+        for n in self.topology.read().nodes.iter().flatten() {
             n.cache.invalidate(&key);
         }
     }
@@ -1250,15 +1529,18 @@ impl Cluster {
             field: format!("{raw_field}/{}", derived.name()),
             timestep,
         };
-        self.nodes
+        self.topology
+            .read()
+            .nodes
             .iter()
+            .flatten()
             .filter(|n| n.cache.corrupt_entry(&key))
             .count()
     }
 
     /// Clears every node's buffer pool (cold-I/O experiments).
     pub fn clear_buffer_pools(&self) {
-        for n in &self.nodes {
+        for n in self.topology.read().nodes.iter().flatten() {
             n.buffer_pool().clear();
         }
     }
@@ -1266,7 +1548,7 @@ impl Cluster {
     /// Aggregate cache statistics across nodes (semantic + PDF caches).
     pub fn cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for n in &self.nodes {
+        for n in self.topology.read().nodes.iter().flatten() {
             for s in [n.cache.stats(), n.pdf_cache.stats()] {
                 total.hits += s.hits;
                 total.misses += s.misses;
@@ -1278,6 +1560,22 @@ impl Cluster {
         }
         total
     }
+}
+
+/// The first live node along an atom's replica chain — the storage
+/// source for direct point access (cutouts, interpolation). Down-marked
+/// nodes keep serving storage (only their query evaluator refuses), so
+/// the chain head is normally the primary, exactly as before replication.
+pub(crate) fn storage_source(
+    topo: &Topology,
+    atom: AtomCoord,
+) -> StorageResult<&Arc<NodeRuntime>> {
+    let chunk = topo.layout.chunk_index_of_atom(atom);
+    topo.layout
+        .replicas_of_chunk(chunk)
+        .iter()
+        .find_map(|&r| topo.nodes.get(r).and_then(Option::as_ref))
+        .ok_or_else(|| StorageError::internal(format!("no live replica stores atom {atom:?}")))
 }
 
 /// Pads a record payload (component-major) out to three components.

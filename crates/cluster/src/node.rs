@@ -1,10 +1,16 @@
 //! Per-node query evaluation.
 //!
-//! A node owns a contiguous z-order run of chunks, a partitioned table per
-//! raw field, a buffer pool, and a semantic cache on its SSD. Threshold
-//! subqueries follow Algorithm 1: probe the cache, otherwise evaluate from
-//! the raw data chunk-by-chunk with `procs` worker processes and update
-//! the cache.
+//! A node holds a partitioned table per raw field (over every chunk it
+//! stores a replica of), a buffer pool, and a semantic cache on its SSD.
+//! Threshold subqueries follow Algorithm 1: probe the cache, otherwise
+//! evaluate from the raw data chunk-by-chunk with `procs` worker
+//! processes and update the cache.
+//!
+//! A node holds no placement state of its own: which chunks it scans
+//! arrives with every [`SharedScanRequest`] as a [`ScanAssignment`]
+//! computed by the mediator from one topology snapshot (`placement.rs`
+//! is the single source of placement truth). That is what lets the
+//! mediator re-target a dead node's chunks at a surviving replica.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,8 +29,8 @@ use tdb_zorder::Box3;
 
 use crate::assemble::{assemble_padded, needed_atoms};
 use crate::cputime::thread_cpu_time_s;
-use crate::placement::{Chunk, Layout};
-use crate::scan::{ScanKernel, ScanParticipant, SharedOutcome, SharedScanRequest};
+#[allow(unused_imports)] // ScanAssignment appears in doc comments
+use crate::scan::{ScanAssignment, ScanKernel, SharedOutcome, SharedScanRequest};
 use crate::sim::{ChunkCost, NodeTimeModel};
 use crate::timing::TimeBreakdown;
 
@@ -107,8 +113,6 @@ pub struct NodeRuntime {
     pub cache: SemanticCache,
     pub pdf_cache: PdfCache,
     pool: Arc<BlockCache>,
-    chunks: Vec<Chunk>,
-    layout: Arc<Layout>,
     grid: Arc<Grid3>,
     scheme: Arc<DiffScheme>,
     registry: Arc<DeviceRegistry>,
@@ -134,14 +138,12 @@ impl NodeRuntime {
         compute_scale: f64,
         synthetic_compute_s_per_point: Option<f64>,
         cache_budget_bytes: u64,
-        layout: Arc<Layout>,
         grid: Arc<Grid3>,
         scheme: Arc<DiffScheme>,
         registry: Arc<DeviceRegistry>,
         lan: DeviceId,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
-        let chunks = layout.chunks_of_node(id);
         Self {
             id,
             tables,
@@ -153,8 +155,6 @@ impl NodeRuntime {
             // histograms are tiny; a small slice of the SSD suffices
             pdf_cache: PdfCache::new(ssd, (cache_budget_bytes / 64).max(1 << 20)),
             pool,
-            chunks,
-            layout,
             grid,
             scheme,
             registry,
@@ -227,35 +227,6 @@ impl NodeRuntime {
         out
     }
 
-    /// Evaluates a threshold subquery (Algorithm 1 on this node) as a
-    /// single-participant shared scan.
-    pub fn evaluate_threshold(
-        &self,
-        peers: &[Arc<NodeRuntime>],
-        q: &ThresholdSubquery,
-    ) -> StorageResult<NodeResult> {
-        let req = SharedScanRequest {
-            dataset: q.dataset.clone(),
-            raw_field: q.raw_field.clone(),
-            derived: q.derived,
-            timestep: q.timestep,
-            mode: q.mode,
-            procs: q.procs,
-            participants: vec![ScanParticipant {
-                query_box: q.query_box,
-                kernel: ScanKernel::Threshold {
-                    threshold: q.threshold,
-                },
-                use_cache: q.use_cache,
-            }],
-        };
-        let mut out = self.evaluate_shared(peers, &req)?;
-        let outcome = out
-            .pop()
-            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?;
-        Ok(outcome.result)
-    }
-
     /// Evaluates a group of queries against one shared atom scan.
     ///
     /// Every participant's cache is probed first; the remaining misses
@@ -265,15 +236,21 @@ impl NodeRuntime {
     /// kernel is applied over its own clip. Results are byte-identical to
     /// independent execution (kernels are pointwise over halo stencils),
     /// and every cache-eligible participant's entry is filled afterwards.
+    ///
+    /// Caches are only consulted (or filled) when the assignment is
+    /// canonical: entries are keyed by the full query box but hold
+    /// exactly this node's primary points, so a failover re-scan of
+    /// another node's chunks must bypass them in both directions.
     pub fn evaluate_shared(
         &self,
-        peers: &[Arc<NodeRuntime>],
+        peers: &[Option<Arc<NodeRuntime>>],
         req: &SharedScanRequest,
     ) -> StorageResult<Vec<SharedOutcome>> {
         self.check_available()?;
         let _active = ActiveGuard::new();
         let wall = Instant::now();
         let key = req.cache_key();
+        let cacheable = req.assignment.canonical;
 
         struct Slot {
             outcome: Option<SharedOutcome>,
@@ -298,7 +275,7 @@ impl NodeRuntime {
 
         // --- per-participant cache probes --------------------------------
         for (slot, part) in slots.iter_mut().zip(&req.participants) {
-            if !part.use_cache {
+            if !part.use_cache || !cacheable {
                 continue;
             }
             let probe = thread_cpu_time_s();
@@ -394,7 +371,7 @@ impl NodeRuntime {
             clips: Vec<(usize, Box3)>,
         }
         let mut tasks: Vec<ScanTask> = Vec::new();
-        for c in &self.chunks {
+        for c in req.assignment.chunks_of(self.id) {
             let grid_box = c.grid_box();
             let mut clips = Vec::new();
             for &i in &pending {
@@ -545,7 +522,7 @@ impl NodeRuntime {
             match &part.kernel {
                 ScanKernel::Threshold { threshold } => {
                     points.sort_unstable_by_key(|p| p.zindex);
-                    if part.use_cache && req.mode == QueryMode::Full {
+                    if part.use_cache && cacheable && req.mode == QueryMode::Full {
                         let mut insert_session = IoSession::new();
                         self.cache.insert(
                             &key,
@@ -572,7 +549,7 @@ impl NodeRuntime {
                         .get_mut(i)
                         .and_then(Option::take)
                         .unwrap_or_else(|| tdb_field::Histogram::new(*origin, *width, *nbins));
-                    if part.use_cache {
+                    if part.use_cache && cacheable {
                         let pdf_key = PdfKey::new(key.clone(), *origin, *width, *nbins as u32);
                         let mut insert_session = IoSession::new();
                         self.pdf_cache.insert(
@@ -619,79 +596,6 @@ impl NodeRuntime {
         }
     }
 
-    /// Evaluates this node's share of a PDF (histogram) query — same scan
-    /// strategy as threshold queries (paper §4), as a single-participant
-    /// shared scan.
-    pub fn evaluate_pdf(
-        &self,
-        peers: &[Arc<NodeRuntime>],
-        q: &ThresholdSubquery,
-        origin: f64,
-        width: f64,
-        nbins: usize,
-    ) -> StorageResult<(tdb_field::Histogram, NodeResult)> {
-        let req = SharedScanRequest {
-            dataset: q.dataset.clone(),
-            raw_field: q.raw_field.clone(),
-            derived: q.derived,
-            timestep: q.timestep,
-            mode: q.mode,
-            procs: q.procs,
-            participants: vec![ScanParticipant {
-                query_box: q.query_box,
-                kernel: ScanKernel::Pdf {
-                    origin,
-                    width,
-                    nbins,
-                },
-                use_cache: q.use_cache,
-            }],
-        };
-        let mut out = self.evaluate_shared(peers, &req)?;
-        let outcome = out
-            .pop()
-            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?;
-        let hist = outcome
-            .histogram
-            .unwrap_or_else(|| tdb_field::Histogram::new(origin, width, nbins));
-        Ok((hist, outcome.result))
-    }
-
-    /// This node's top-k points by derived-field norm.
-    pub fn evaluate_topk(
-        &self,
-        peers: &[Arc<NodeRuntime>],
-        q: &ThresholdSubquery,
-        k: usize,
-    ) -> StorageResult<(Vec<ThresholdPoint>, NodeResult)> {
-        // a top-k over a scan is a threshold query with threshold -inf and
-        // a bounded heap; reuse the full scan then truncate
-        let req = SharedScanRequest {
-            dataset: q.dataset.clone(),
-            raw_field: q.raw_field.clone(),
-            derived: q.derived,
-            timestep: q.timestep,
-            mode: q.mode,
-            procs: q.procs,
-            participants: vec![ScanParticipant {
-                query_box: q.query_box,
-                kernel: ScanKernel::TopK,
-                use_cache: false,
-            }],
-        };
-        let mut out = self.evaluate_shared(peers, &req)?;
-        let mut result = out
-            .pop()
-            .ok_or_else(|| StorageError::internal("shared scan returned no participant"))?
-            .result;
-        result
-            .points
-            .sort_unstable_by(|a, b| b.value.total_cmp(&a.value));
-        result.points.truncate(k);
-        let points = std::mem::take(&mut result.points);
-        Ok((points, result))
-    }
-
     /// Runs `procs` workers over the task list, collecting per-task output.
     fn run_workers<I: Sync, T: Send>(
         &self,
@@ -721,24 +625,27 @@ impl NodeRuntime {
         results.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Fetches every atom a chunk domain needs: local atoms from this
-    /// node's table as batched range scans, halo atoms owned by peers as
-    /// one batched request per peer over the (modelled) LAN.
+    /// Fetches every atom a chunk domain needs: atoms this node stores a
+    /// replica of from its own table as batched range scans, the rest
+    /// from the atom's primary as one batched request per peer over the
+    /// (modelled) LAN. Routing comes from the request's assignment — the
+    /// node holds no placement state of its own.
     fn fetch_atoms_shared(
         &self,
         req: &SharedScanRequest,
         domain: &Box3,
-        peers: &[Arc<NodeRuntime>],
+        peers: &[Option<Arc<NodeRuntime>>],
         session: &mut IoSession,
     ) -> StorageResult<HashMap<u64, AtomRecord>> {
         // I/O-only probes (Fig. 8) read exactly what the full evaluation
         // reads — boundary bands included — they just skip the kernel
         let halo = req.derived.halo(&self.scheme);
         let needed = needed_atoms(domain, halo, self.grid.dims(), self.grid.periodic);
+        let layout = &req.assignment.layout;
         let mut by_owner: HashMap<usize, Vec<u64>> = HashMap::new();
         for atom in &needed {
             by_owner
-                .entry(self.layout.node_of_atom(*atom))
+                .entry(layout.fetch_node_for(*atom, self.id))
                 .or_default()
                 .push(atom.zindex());
         }
@@ -748,9 +655,9 @@ impl NodeRuntime {
             let records = if owner == self.id {
                 self.fetch_atoms(&req.raw_field, req.timestep, &codes, session)
             } else {
-                let Some(peer) = peers.get(owner) else {
+                let Some(peer) = peers.get(owner).and_then(Option::as_ref) else {
                     return Err(StorageError::internal(format!(
-                        "atom owner {owner} outside cluster of {} nodes",
+                        "atom owner {owner} absent from the cluster of {} node slots",
                         peers.len()
                     )));
                 };

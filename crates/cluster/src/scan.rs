@@ -8,12 +8,15 @@
 //! pointwise stencil: the value at a grid point depends only on its halo
 //! neighbourhood, never on the extent of the scanned domain.
 
+use std::sync::Arc;
+
 use tdb_cache::ThresholdPoint;
 use tdb_field::Histogram;
 use tdb_kernels::DerivedField;
 use tdb_zorder::Box3;
 
 use crate::node::{NodeResult, QueryMode};
+use crate::placement::{Chunk, Layout};
 
 /// The per-query kernel applied to the shared scan's decoded atoms.
 #[derive(Debug, Clone)]
@@ -41,6 +44,44 @@ pub struct ScanParticipant {
     pub use_cache: bool,
 }
 
+/// Which chunks each node scans, decided by the mediator from one
+/// placement snapshot. Nodes never consult a layout of their own — the
+/// assignment is the single source of placement truth for a scan, which
+/// is what lets the mediator re-target a failed node's chunks at a
+/// replica and keeps every scan of a batch on one consistent topology.
+#[derive(Debug, Clone)]
+pub struct ScanAssignment {
+    /// The placement snapshot the assignment was computed from (also
+    /// used for halo-atom routing during the scan).
+    pub layout: Arc<Layout>,
+    /// `chunks[node]` = chunks that node must scan.
+    pub chunks: Vec<Vec<Chunk>>,
+    /// Whether this is the canonical primary-ownership assignment.
+    /// Semantic-cache entries hold exactly a node's *primary* points for
+    /// the full query box, so cache probes and fills are only sound on
+    /// the canonical assignment; failover re-scans must bypass them.
+    pub canonical: bool,
+}
+
+impl ScanAssignment {
+    /// The canonical assignment: every node scans its primary chunks.
+    pub fn canonical(layout: &Arc<Layout>) -> Self {
+        let chunks = (0..layout.num_nodes())
+            .map(|node| layout.chunks_of_node(node))
+            .collect();
+        Self {
+            layout: Arc::clone(layout),
+            chunks,
+            canonical: true,
+        }
+    }
+
+    /// The chunks assigned to `node` (empty when out of range).
+    pub fn chunks_of(&self, node: usize) -> &[Chunk] {
+        self.chunks.get(node).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// A group of queries sharing one atom scan. All participants agree on
 /// everything that shapes the scan itself; only the region, kernel and
 /// cache policy vary per participant.
@@ -54,6 +95,8 @@ pub struct SharedScanRequest {
     /// Worker processes per node for the shared scan.
     pub procs: usize,
     pub participants: Vec<ScanParticipant>,
+    /// Chunk-to-node assignment for this scan.
+    pub assignment: Arc<ScanAssignment>,
 }
 
 impl SharedScanRequest {

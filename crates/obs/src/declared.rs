@@ -49,6 +49,9 @@ pub const DECLARED_METRICS: &[&str] = &[
     "node.atoms_scanned",
     "node.deadline_exceeded",
     "node.unavailable",
+    "qos.admitted.*",
+    "qos.evicted",
+    "qos.shed.*",
     "query.degraded",
     "query.pdf.count",
     "query.pdf.wall_s",
@@ -60,6 +63,14 @@ pub const DECLARED_METRICS: &[&str] = &[
     "query.threshold.wall_s",
     "query.topk.count",
     "query.topk.wall_s",
+    "replication.failover.chunks",
+    "replication.failover.nodes",
+    "replication.failover.rounds",
+    "replication.lost_chunks",
+    "replication.rebalance.atoms_copied",
+    "replication.rebalance.chunks_moved",
+    "replication.rebalance.joins",
+    "replication.rebalance.leaves",
     "scan.atoms_saved",
     "scan.coalesced_queries",
     "scan.shared",

@@ -34,7 +34,8 @@ fn human_bytes(v: u64) -> String {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tdbql --connect ADDR <command>\n\
+        "usage: tdbql --connect ADDR [--api-key KEY] <command>\n\
+         \x20 (TDB_API_KEY in the environment also sets the tenant key)\n\
          commands:\n\
          \x20 info\n\
          \x20 ping\n\
@@ -64,7 +65,17 @@ fn derived(name: &str) -> DerivedField {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // the tenant key is an envelope concern: strip it wherever it
+    // appears, with the flag overriding the TDB_API_KEY environment
+    let mut api_key = std::env::var("TDB_API_KEY").ok().filter(|k| !k.is_empty());
+    if let Some(i) = args.iter().position(|a| a == "--api-key") {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        api_key = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let (addr, cmd) = match (args.first(), args.get(1), args.get(2)) {
         (Some(flag), Some(addr), Some(cmd)) if flag == "--connect" => (addr, cmd.as_str()),
         _ => usage(),
@@ -76,6 +87,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(key) = api_key {
+        client.set_api_key(Some(key));
+    }
     let rest = args.get(3..).unwrap_or(&[]);
     let result = run(&mut client, cmd, rest);
     if let Err(e) = result {

@@ -92,6 +92,9 @@ pub type MetricsPairs = (Vec<(String, u64)>, Vec<(String, i64)>);
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Tenant API key stamped into every request envelope, for the
+    /// server's per-tenant QoS (weighted fair queueing).
+    api_key: Option<String>,
 }
 
 impl Client {
@@ -100,11 +103,30 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            api_key: None,
+        })
+    }
+
+    /// Tags this client's requests with a tenant API key.
+    pub fn with_api_key(mut self, api_key: impl Into<String>) -> Self {
+        self.api_key = Some(api_key.into());
+        self
+    }
+
+    /// Changes (or clears) the tenant API key on a live connection.
+    pub fn set_api_key(&mut self, api_key: Option<String>) {
+        self.api_key = api_key;
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        writeln!(self.writer, "{}", request.to_json().encode())?;
+        let mut doc = request.to_json();
+        if let (Some(key), Json::Obj(fields)) = (&self.api_key, &mut doc) {
+            fields.insert("api_key".to_string(), Json::Str(key.clone()));
+        }
+        writeln!(self.writer, "{}", doc.encode())?;
         self.writer.flush()?;
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {

@@ -18,7 +18,7 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use admission::{Admission, AdmissionConfig, AdmissionQueue, Permit};
+pub use admission::{Admission, AdmissionConfig, AdmissionQueue, Permit, TenantSpec};
 pub use client::Client;
 pub use json::Json;
 pub use proto::{Request, Response};

@@ -105,7 +105,7 @@ impl Server {
         let state = Arc::new(ServerState::with_admission(
             service,
             config.mydb_quota_bytes,
-            config.admission,
+            config.admission.clone(),
         ));
         let handle = std::thread::spawn(move || accept_loop(listener, state, config, flag));
         Ok(Server {
@@ -274,7 +274,10 @@ pub fn handle_line_admitted(line: &str, state: &ServerState, conn: u64) -> Respo
         }
     };
     if is_data_query(&request) {
-        match state.admission.admit(conn) {
+        // the API key travels in the request envelope, outside the typed
+        // request, so tenancy never alters query semantics
+        let api_key = doc.get("api_key").and_then(Json::as_str);
+        match state.admission.admit_keyed(conn, api_key) {
             Admission::Granted(_permit) => execute_with_state(&request, state),
             Admission::Busy {
                 queue_depth,

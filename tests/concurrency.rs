@@ -317,6 +317,7 @@ fn wire_server_sheds_concurrent_burst_with_busy() {
             max_inflight: 1,
             queue_depth: 0,
             busy_retry_ms: 25,
+            tenants: Vec::new(),
         },
         ..ServerConfig::default()
     };
@@ -387,6 +388,7 @@ fn control_plane_requests_bypass_admission() {
             max_inflight: 1,
             queue_depth: 0,
             busy_retry_ms: 10,
+            tenants: Vec::new(),
         },
         ..ServerConfig::default()
     };

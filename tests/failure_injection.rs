@@ -459,3 +459,160 @@ fn cached_results_survive_storage_corruption() {
         Err(QueryError::Backend(_))
     ));
 }
+
+/// Same shape as [`build_codec`] but replicated, with a failure policy.
+fn build_replicated_codec(
+    tag: &str,
+    codec: tdb_cluster::CompressionConfig,
+    plan: Option<Arc<FaultPlan>>,
+    limits: QueryLimits,
+) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            compression: codec,
+            replication: tdb_cluster::ReplicationConfig::k(2),
+            faults: plan,
+            ..ClusterConfig::default()
+        },
+        limits,
+        data_dir: tdb_bench::scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}
+
+/// A replica node dies and revives *while a scan workload is running*
+/// over the lossless compressed tier: whether a query sees the outage
+/// at scatter time or mid-scan, every answer stays complete and
+/// byte-identical (lossless decode is deterministic).
+#[test]
+fn kill_replica_mid_scan_completes_over_compressed_tier() {
+    let plan = FaultPlan::new(FaultPlan::seed_from_env(0x7411)).shared();
+    let service = build_replicated_codec(
+        "fi_midscan",
+        tdb_cluster::CompressionConfig::lossless(),
+        Some(Arc::clone(&plan)),
+        Default::default(),
+    );
+    let (clean, _dir) = build_codec(
+        "fi_midscan_ref",
+        tdb_cluster::CompressionConfig::lossless(),
+        None,
+    );
+    let q = curl_query().without_cache();
+    let reference = point_bits(&clean.get_threshold(&q).expect("reference").points);
+
+    let toggler_plan = Arc::clone(&plan);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    // only node 1 flaps, so some replica is always live for every chunk
+    let toggler = std::thread::spawn(move || {
+        while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+            toggler_plan.set_node_down(1, true);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            toggler_plan.set_node_down(1, false);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    });
+    for _ in 0..10 {
+        service.cluster().clear_buffer_pools();
+        let r = service
+            .get_threshold(&q)
+            .expect("scan under a flapping replica");
+        assert!(r.degraded.is_none(), "k=2 must absorb the flapping node");
+        assert_eq!(point_bits(&r.points), reference);
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    toggler.join().expect("toggler");
+}
+
+/// A slow-disk primary blows the per-node modelled-time deadline over
+/// the compressed tier. Unreplicated, that deadline costs part of the
+/// answer; at k=2 the mediator treats the timed-out node like a dead
+/// one and fails the work over to its fast replica — the answer comes
+/// back complete and byte-identical, inside the deadline.
+#[test]
+fn primary_timeout_fails_over_to_fast_replica() {
+    // node 0's three field tables are exactly file ids 0/1024/2048
+    // (file ids advance by 1024 per table, nodes built in order), so
+    // these rules model one node with pathological disks
+    let slow_node_0 = || {
+        let mut plan = FaultPlan::new(FaultPlan::seed_from_env(0x7411));
+        for file_id in [0, 1024, 2048] {
+            plan = plan.with_rule(FaultRule {
+                site: tdb_storage::FaultSite::BlockRead,
+                kind: tdb_storage::FaultKind::Latency { seconds: 30.0 },
+                probability: 1.0,
+                file_id: Some(file_id),
+                block_no: None,
+            });
+        }
+        plan.shared()
+    };
+    let deadline = QueryLimits {
+        node_deadline_s: Some(10.0),
+        ..Default::default()
+    };
+    let q = curl_query().without_cache();
+
+    // control: without replicas the deadline drops node 0's boxes
+    let lone = build_codec_limits(
+        "fi_timeout_k1",
+        tdb_cluster::CompressionConfig::lossless(),
+        Some(slow_node_0()),
+        deadline,
+    );
+    let degraded = lone
+        .get_threshold(&q)
+        .expect("deadline must degrade, not fail")
+        .degraded
+        .expect("the slow node must miss the deadline");
+    assert!(degraded.failed_nodes[0].reason.contains("deadline"));
+
+    // replicated: the same pathology fails over and completes
+    let replicated = build_replicated_codec(
+        "fi_timeout_k2",
+        tdb_cluster::CompressionConfig::lossless(),
+        Some(slow_node_0()),
+        deadline,
+    );
+    let (clean, _dir) = build_codec(
+        "fi_timeout_ref",
+        tdb_cluster::CompressionConfig::lossless(),
+        None,
+    );
+    let r = replicated
+        .get_threshold(&q)
+        .expect("failover must beat the deadline");
+    assert!(r.degraded.is_none(), "the fast replica must fill in");
+    let reference = clean.get_threshold(&q).expect("reference");
+    assert_eq!(point_bits(&r.points), point_bits(&reference.points));
+}
+
+/// Same shape as [`build_codec`] but with query limits.
+fn build_codec_limits(
+    tag: &str,
+    codec: tdb_cluster::CompressionConfig,
+    plan: Option<Arc<FaultPlan>>,
+    limits: QueryLimits,
+) -> TurbulenceService {
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            compression: codec,
+            faults: plan,
+            ..ClusterConfig::default()
+        },
+        limits,
+        data_dir: tdb_bench::scratch_dir(tag),
+    };
+    TurbulenceService::build(config).expect("build")
+}

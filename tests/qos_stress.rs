@@ -1,0 +1,295 @@
+//! Fleet-scale QoS stress: a thousand-plus simulated connections across
+//! mixed tenants hammer the weighted-fair admission queue, and the
+//! grant stream honours the configured weights; priority tenants are
+//! never shed under an anonymous flood; and with replication enabled,
+//! a node death mid-storm drops no admitted answer — every granted
+//! query completes byte-identical to the healthy baseline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use tdb_cluster::{ClusterConfig, ReplicationConfig};
+use tdb_core::{DerivedField, ServiceConfig, ThresholdPoint, ThresholdQuery, TurbulenceService};
+use tdb_storage::FaultPlan;
+use tdb_turbgen::SyntheticDataset;
+use tdb_wire::{Admission, AdmissionConfig, AdmissionQueue, TenantSpec};
+
+static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_conn() -> u64 {
+    NEXT_CONN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Admit-with-retry: spins on `Busy` until granted. Returns the number
+/// of `Busy` verdicts absorbed along the way.
+fn admit_insistently(
+    queue: &Arc<AdmissionQueue>,
+    conn: u64,
+    key: Option<&str>,
+) -> (tdb_wire::Permit, u64) {
+    let mut sheds = 0;
+    loop {
+        match queue.admit_keyed(conn, key) {
+            Admission::Granted(permit) => return (permit, sheds),
+            Admission::Busy { .. } => {
+                sheds += 1;
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// 48 worker threads — 16 per tenant — push 1296 distinct connections
+/// through a single-slot queue. With every tenant continuously
+/// backlogged, the steady-state grant stream must split by scheduling
+/// weight: the weight-6 tenant takes ~6/8 of grants, each weight-1
+/// tenant a visible, non-starved share.
+#[test]
+fn wfq_shares_hold_under_thousand_connection_storm() {
+    let queue = AdmissionQueue::new(AdmissionConfig {
+        max_inflight: 1,
+        queue_depth: 64,
+        busy_retry_ms: 1,
+        tenants: vec![
+            TenantSpec::new("heavy", 6),
+            TenantSpec::new("light_a", 1),
+            TenantSpec::new("light_b", 1),
+        ],
+    });
+    let (tx, rx) = mpsc::channel::<&'static str>();
+    let mut handles = Vec::new();
+    // offered load proportional to weight, so every tenant stays
+    // backlogged for the whole run and all three drain together —
+    // otherwise the favoured tenant finishes early and the tail of the
+    // grant stream underestimates its steady-state share
+    for (key, per_thread) in [("heavy", 54), ("light_a", 9), ("light_b", 9)] {
+        for _ in 0..16 {
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..per_thread {
+                    let (permit, _) = admit_insistently(&queue, fresh_conn(), Some(key));
+                    tx.send(key).expect("collector alive");
+                    // hold the slot for a simulated query: with zero-cost
+                    // work the queue drains between admissions and the
+                    // work-conserving immediate path (rightly) bypasses
+                    // cross-tenant arbitration — shares only bind under
+                    // a standing backlog
+                    thread::sleep(Duration::from_micros(150));
+                    drop(permit);
+                }
+            }));
+        }
+    }
+    drop(tx);
+    let grants: Vec<&str> = rx.iter().collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    assert_eq!(grants.len(), 16 * (54 + 9 + 9));
+    assert!(
+        grants.len() >= 1000,
+        "the storm must span 1000+ connections"
+    );
+
+    // measure over the middle of the run, away from ramp-up and drain
+    let window = &grants[100..1000];
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for g in window {
+        *counts.entry(g).or_default() += 1;
+    }
+    let share = |key: &str| *counts.get(key).unwrap_or(&0) as f64 / window.len() as f64;
+    let heavy = share("heavy");
+    assert!(
+        (0.45..=0.85).contains(&heavy),
+        "weight-6 tenant took {heavy:.2} of saturated grants, expected ~0.75"
+    );
+    assert!(
+        share("light_a") >= 0.03 && share("light_b") >= 0.03,
+        "weight-1 tenants must not starve: {:.2} / {:.2}",
+        share("light_a"),
+        share("light_b")
+    );
+}
+
+/// An anonymous flood saturates a shallow queue; a premium tenant with
+/// a higher shed priority displaces anonymous waiters instead of being
+/// turned away. Every one of its 400 connections is admitted; the
+/// anonymous class absorbs all the shedding.
+#[test]
+fn premium_tenant_is_never_shed_under_anonymous_flood() {
+    let queue = AdmissionQueue::new(AdmissionConfig {
+        max_inflight: 2,
+        queue_depth: 8,
+        busy_retry_ms: 1,
+        tenants: vec![TenantSpec::new("premium", 4).with_shed_priority(5)],
+    });
+    let anon_shed = Arc::new(AtomicU64::new(0));
+    let premium_admitted = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..16 {
+        let queue = Arc::clone(&queue);
+        let anon_shed = Arc::clone(&anon_shed);
+        handles.push(thread::spawn(move || {
+            for _ in 0..40 {
+                // anonymous traffic gives up after a bounded number of
+                // Busy verdicts — a client backing off, not a spinner
+                let conn = fresh_conn();
+                for _ in 0..200 {
+                    match queue.admit(conn) {
+                        Admission::Granted(permit) => {
+                            thread::sleep(Duration::from_micros(100));
+                            drop(permit);
+                            break;
+                        }
+                        Admission::Busy { .. } => {
+                            anon_shed.fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(Duration::from_micros(100));
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for _ in 0..4 {
+        let queue = Arc::clone(&queue);
+        let premium_admitted = Arc::clone(&premium_admitted);
+        handles.push(thread::spawn(move || {
+            for _ in 0..100 {
+                // at most 4 premium waiters can coexist in the depth-8
+                // queue, so a full queue always holds an anonymous
+                // victim: premium must park or run, never shed
+                match queue.admit_keyed(fresh_conn(), Some("premium")) {
+                    Admission::Granted(permit) => {
+                        premium_admitted.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(Duration::from_micros(100));
+                        drop(permit);
+                    }
+                    Admission::Busy { .. } => panic!("premium connection shed"),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    assert_eq!(premium_admitted.load(Ordering::Relaxed), 400);
+    assert!(
+        anon_shed.load(Ordering::Relaxed) > 0,
+        "the flood must actually saturate the queue"
+    );
+}
+
+fn point_bits(points: &[ThresholdPoint]) -> Vec<(u64, u32)> {
+    let mut v: Vec<(u64, u32)> = points
+        .iter()
+        .map(|p| (p.zindex, p.value.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// The issue's zero-drop guarantee: a mixed-tenant query storm runs
+/// against a k=2 cluster, a node dies halfway through, and every
+/// admitted query still returns a complete answer byte-identical to
+/// the healthy baseline — replication absorbs the death, admission
+/// sheds nothing it accepted.
+#[test]
+fn node_death_mid_storm_drops_no_admitted_answers() {
+    let plan = FaultPlan::new(FaultPlan::seed_from_env(0x7411)).shared();
+    let config = ServiceConfig {
+        dataset: SyntheticDataset::mhd(32, 1, 0xdead),
+        cluster: ClusterConfig {
+            num_nodes: 2,
+            procs_per_node: 2,
+            arrays_per_node: 2,
+            chunk_atoms: 2,
+            replication: ReplicationConfig::k(2),
+            faults: Some(Arc::clone(&plan)),
+            ..ClusterConfig::default()
+        },
+        limits: Default::default(),
+        data_dir: tdb_bench::scratch_dir("qos_storm"),
+    };
+    let service = Arc::new(TurbulenceService::build(config).expect("build"));
+    let thresholds = [15.0, 25.0, 40.0];
+    let query = |threshold: f64| {
+        let mut q =
+            ThresholdQuery::whole_timestep("velocity", DerivedField::CurlNorm, 0, threshold);
+        q = q.without_cache();
+        q
+    };
+    // healthy baselines, one per threshold in the mix
+    let baselines: Vec<Vec<(u64, u32)>> = thresholds
+        .iter()
+        .map(|&t| point_bits(&service.get_threshold(&query(t)).expect("baseline").points))
+        .collect();
+
+    let queue = AdmissionQueue::new(AdmissionConfig {
+        max_inflight: 4,
+        queue_depth: 64,
+        busy_retry_ms: 1,
+        tenants: vec![TenantSpec::new("heavy", 4), TenantSpec::new("light", 1)],
+    });
+    let workers = 12;
+    let rounds = 6; // per worker, per half
+    let barrier = Arc::new(Barrier::new(workers + 1));
+    let failures = Arc::new(Mutex::new(Vec::<String>::new()));
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let service = Arc::clone(&service);
+        let queue = Arc::clone(&queue);
+        let barrier = Arc::clone(&barrier);
+        let failures = Arc::clone(&failures);
+        let baselines = baselines.clone();
+        handles.push(thread::spawn(move || {
+            let key = if w % 3 == 0 { "light" } else { "heavy" };
+            for half in 0..2 {
+                // half 0 runs healthy; the main thread kills node 1
+                // between the two rendezvous, before half 1 starts
+                barrier.wait();
+                barrier.wait();
+                for r in 0..rounds {
+                    let ti = (w + r + half) % thresholds.len();
+                    let (permit, _) = admit_insistently(&queue, fresh_conn(), Some(key));
+                    let result = service.get_threshold(&query(thresholds[ti]));
+                    drop(permit);
+                    let note = match result {
+                        Ok(r) if r.degraded.is_some() => {
+                            Some(format!("worker {w} half {half}: degraded answer"))
+                        }
+                        Ok(r) if point_bits(&r.points) != baselines[ti] => {
+                            Some(format!("worker {w} half {half}: wrong bytes"))
+                        }
+                        Ok(_) => None,
+                        Err(e) => Some(format!("worker {w} half {half}: {e:?}")),
+                    };
+                    if let Some(note) = note {
+                        failures.lock().expect("collector").push(note);
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait(); // workers at the half-0 gate
+    barrier.wait(); // release half 0 (node still healthy)
+    barrier.wait(); // workers done with half 0, parked at the half-1 gate
+    plan.set_node_down(1, true);
+    service.cluster().clear_buffer_pools();
+    barrier.wait(); // release half 1 against the dead node
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let failures = failures.lock().expect("collector");
+    assert!(
+        failures.is_empty(),
+        "{} of {} admitted queries dropped or degraded:\n{}",
+        failures.len(),
+        workers * rounds * 2,
+        failures.join("\n")
+    );
+    assert!(plan.counts().node_down > 0, "the dead node must be probed");
+}
