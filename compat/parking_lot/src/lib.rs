@@ -9,9 +9,93 @@
 //! locks and a global acquisition-order graph, and panics the moment an
 //! acquisition would close a cycle — turning a would-be deadlock that
 //! hangs a test into an immediate failure naming both locks. The static
-//! complement is tdb-lint's `lock-order` rule.
+//! complement is tdb-lint's `lock-graph` rule.
+//!
+//! Every primitive is additionally instrumented with *model-checker
+//! yield points* (see [`model`]): when the `tdb-check` deterministic
+//! scheduler has marked the calling thread as a virtual thread, lock
+//! acquisition, release, condvar waits/notifies and [`AtomicCell`]
+//! operations route through the installed [`model::Hooks`] so the
+//! checker controls every interleaving. Outside a model run the cost is
+//! one relaxed atomic load per operation.
 
 use std::sync::PoisonError;
+
+/// Model-checker instrumentation seam.
+///
+/// `tdb-check` installs a process-global [`Hooks`] implementation once;
+/// the hooks decide per-thread whether they are active (only the
+/// checker's virtual threads are). When active, blocking is *virtual*:
+/// the primitive asks the hooks for the operation, the hooks park the
+/// virtual thread inside the checker's scheduler until the operation is
+/// granted, and only then does the shim touch the underlying `std`
+/// primitive (which is guaranteed uncontended among virtual threads at
+/// that point). Condvar waits never touch the `std` condvar at all —
+/// parking, wakeup and timeout are entirely scheduler decisions, which
+/// is what makes lost notifications and timeout races explorable.
+pub mod model {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    /// The checker-side implementation of every yield point. Object
+    /// identities are the primitive's address (stable for its lifetime).
+    pub trait Hooks: Sync {
+        /// Whether the calling thread is a checker-managed virtual
+        /// thread. All other hook methods are only called when true.
+        fn active(&self) -> bool;
+        /// Blocks virtually until the mutex at `m` is granted.
+        fn mutex_lock(&self, m: usize);
+        /// Releases the mutex at `m` (called after the `std` guard drop).
+        fn mutex_unlock(&self, m: usize);
+        /// Blocks virtually until the rwlock at `l` grants shared
+        /// (`write = false`) or exclusive (`write = true`) access.
+        fn rw_lock(&self, l: usize, write: bool);
+        /// Releases a shared or exclusive grant on the rwlock at `l`.
+        fn rw_unlock(&self, l: usize, write: bool);
+        /// Parks on the condvar at `cv`, releasing the (already
+        /// `std`-released) mutex at `m`; returns once notified — or, for
+        /// `timed` waits, once the scheduler chose the timeout path —
+        /// and the mutex has been re-granted. Returns whether the wait
+        /// timed out.
+        fn condvar_wait(&self, cv: usize, m: usize, timed: bool) -> bool;
+        /// Wakes one (`all = false`) or every (`all = true`) waiter of
+        /// the condvar at `cv`. A notify with no waiters is lost,
+        /// exactly like the real primitive.
+        fn notify(&self, cv: usize, all: bool);
+        /// Yield point before an [`super::AtomicCell`] operation.
+        fn atomic_op(&self, cell: usize);
+    }
+
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    static HOOKS: OnceLock<&'static dyn Hooks> = OnceLock::new();
+
+    /// Installs the process-global hooks (first caller wins; installing
+    /// is one-way). Idempotent for the same checker singleton.
+    pub fn install(hooks: &'static dyn Hooks) {
+        let _ = HOOKS.set(hooks);
+        INSTALLED.store(true, Ordering::Release);
+    }
+
+    /// The installed hooks, when the calling thread is a virtual thread.
+    #[inline]
+    pub(crate) fn active_hooks() -> Option<&'static dyn Hooks> {
+        if !INSTALLED.load(Ordering::Acquire) {
+            return None;
+        }
+        let h = *HOOKS.get()?;
+        if h.active() {
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    /// A primitive's model identity: its data address.
+    #[inline]
+    pub(crate) fn addr<T: ?Sized>(p: *const T) -> usize {
+        p.cast::<u8>() as usize
+    }
+}
 
 #[cfg(debug_assertions)]
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,14 +243,27 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(h) = model::active_hooks() {
+            h.mutex_lock(model::addr(self as *const Self));
+            // granted by the scheduler: the std mutex below is free of
+            // virtual-thread holders, so this cannot park out of band
+            return MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                order_id: 0,
+                model: true,
+            };
+        }
         let order_id = self.tracked_id();
         #[cfg(debug_assertions)]
         if order_id != 0 {
             lock_order::check_acquire(order_id);
         }
         let guard = MutexGuard {
+            lock: self,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
             order_id,
+            model: false,
         };
         #[cfg(debug_assertions)]
         if order_id != 0 {
@@ -213,10 +310,16 @@ impl<T: ?Sized> Mutex<T> {
 /// out (std's wait consumes the guard) and put the re-acquired one back.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
+    /// Back-reference to the owning mutex so a virtualized
+    /// [`Condvar::wait`] can re-acquire it after parking.
+    lock: &'a Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
     /// Tracker id of the owning mutex (0 = untracked).
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     order_id: u64,
+    /// Whether this guard was granted by the model scheduler (its drop
+    /// must report the release back to the hooks).
+    model: bool,
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
@@ -234,6 +337,15 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        if self.model {
+            // release the std lock before telling the scheduler, so the
+            // next granted virtual thread never contends on it
+            self.inner = None;
+            if let Some(h) = model::active_hooks() {
+                h.mutex_unlock(model::addr(self.lock as *const Mutex<T>));
+            }
+            return;
+        }
         #[cfg(debug_assertions)]
         if self.order_id != 0 {
             lock_order::released(self.order_id);
@@ -271,12 +383,32 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.inner.read().unwrap_or_else(PoisonError::into_inner))
+        let model_id = if let Some(h) = model::active_hooks() {
+            let id = model::addr(self as *const Self);
+            h.rw_lock(id, false);
+            id
+        } else {
+            0
+        };
+        RwLockReadGuard {
+            inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            model_id,
+        }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.inner.write().unwrap_or_else(PoisonError::into_inner))
+        let model_id = if let Some(h) = model::active_hooks() {
+            let id = model::addr(self as *const Self);
+            h.rw_lock(id, true);
+            id
+        } else {
+            0
+        };
+        RwLockWriteGuard {
+            inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            model_id,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -287,29 +419,59 @@ impl<T: ?Sized> RwLock<T> {
 
 /// RAII shared guard returned by [`RwLock::read`].
 #[derive(Debug)]
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    /// Model identity of the owning lock (0 = not a model grant).
+    model_id: usize,
+}
 
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.model_id != 0 {
+            self.inner = None;
+            if let Some(h) = model::active_hooks() {
+                h.rw_unlock(self.model_id, false);
+            }
+        }
     }
 }
 
 /// RAII exclusive guard returned by [`RwLock::write`].
 #[derive(Debug)]
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    /// Model identity of the owning lock (0 = not a model grant).
+    model_id: usize,
+}
 
 impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.model_id != 0 {
+            self.inner = None;
+            if let Some(h) = model::active_hooks() {
+                h.rw_unlock(self.model_id, true);
+            }
+        }
     }
 }
 
@@ -325,6 +487,28 @@ impl Condvar {
 
     /// Blocks until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if guard.model {
+            if let Some(h) = model::active_hooks() {
+                // virtual wait: the std condvar is never involved. Drop
+                // the std lock, park in the scheduler until a notify
+                // re-granted the mutex, then re-take the (uncontended)
+                // std lock.
+                guard.inner = None;
+                h.condvar_wait(
+                    model::addr(self as *const Self),
+                    model::addr(guard.lock as *const Mutex<T>),
+                    false,
+                );
+                guard.inner = Some(
+                    guard
+                        .lock
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                return;
+            }
+        }
         let held = guard.inner.take().expect("guard present");
         // the wait releases the lock: the held stack must not show it as
         // held while parked, and the re-acquisition re-checks ordering
@@ -348,6 +532,27 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
+        if guard.model {
+            if let Some(h) = model::active_hooks() {
+                // timed virtual wait: whether the timeout "fires" is a
+                // scheduler decision, not a clock — both outcomes are
+                // explorable states. The duration itself is irrelevant.
+                guard.inner = None;
+                let timed_out = h.condvar_wait(
+                    model::addr(self as *const Self),
+                    model::addr(guard.lock as *const Mutex<T>),
+                    true,
+                );
+                guard.inner = Some(
+                    guard
+                        .lock
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                return WaitTimeoutResult(timed_out);
+            }
+        }
         let held = guard.inner.take().expect("guard present");
         #[cfg(debug_assertions)]
         if guard.order_id != 0 {
@@ -368,11 +573,19 @@ impl Condvar {
 
     /// Wakes one waiter.
     pub fn notify_one(&self) {
+        if let Some(h) = model::active_hooks() {
+            h.notify(model::addr(self as *const Self), false);
+            return;
+        }
         self.0.notify_one();
     }
 
     /// Wakes every waiter.
     pub fn notify_all(&self) {
+        if let Some(h) = model::active_hooks() {
+            h.notify(model::addr(self as *const Self), true);
+            return;
+        }
         self.0.notify_all();
     }
 }
@@ -385,6 +598,91 @@ impl WaitTimeoutResult {
     /// True when the wait ended by timeout rather than notification.
     pub fn timed_out(&self) -> bool {
         self.0
+    }
+}
+
+/// A lock-free-looking cell for hot flags and counters, modeled after
+/// `crossbeam::atomic::AtomicCell` but instrumented as a model-checker
+/// yield point: under `tdb-check`, every operation is a scheduling
+/// decision, which is what makes non-atomic check-then-act sequences
+/// (`load` … `store`) explorable as distinct interleavings. Each method
+/// is itself one atomic step.
+#[derive(Debug, Default)]
+pub struct AtomicCell<T> {
+    value: std::sync::Mutex<T>,
+}
+
+impl<T: Copy> AtomicCell<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            value: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Yield point: under the checker this parks until the scheduler
+    /// grants the step; outside it is one relaxed atomic load.
+    #[inline]
+    fn step(&self) {
+        if let Some(h) = model::active_hooks() {
+            h.atomic_op(model::addr(self as *const Self));
+        }
+    }
+
+    fn cell(&self) -> std::sync::MutexGuard<'_, T> {
+        self.value.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads the value.
+    pub fn load(&self) -> T {
+        self.step();
+        *self.cell()
+    }
+
+    /// Overwrites the value.
+    pub fn store(&self, value: T) {
+        self.step();
+        *self.cell() = value;
+    }
+
+    /// Replaces the value, returning the previous one.
+    pub fn swap(&self, value: T) -> T {
+        self.step();
+        let mut cell = self.cell();
+        std::mem::replace(&mut *cell, value)
+    }
+
+    /// Applies `f` to the value as one atomic step, returning the
+    /// previous value.
+    pub fn update(&self, f: impl FnOnce(T) -> T) -> T {
+        self.step();
+        let mut cell = self.cell();
+        let prev = *cell;
+        *cell = f(prev);
+        prev
+    }
+
+    /// Consumes the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Copy + PartialEq> AtomicCell<T> {
+    /// Stores `new` iff the value equals `current`, as one atomic step.
+    /// Returns the previous value as `Ok` on success, `Err` on mismatch.
+    pub fn compare_exchange(&self, current: T, new: T) -> Result<T, T> {
+        self.step();
+        let mut cell = self.cell();
+        let prev = *cell;
+        if prev == current {
+            *cell = new;
+            Ok(prev)
+        } else {
+            Err(prev)
+        }
     }
 }
 
@@ -432,6 +730,18 @@ mod tests {
         let mut g = m.lock();
         let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
         assert!(r.timed_out());
+    }
+
+    #[test]
+    fn atomic_cell_single_steps() {
+        let c = AtomicCell::new(1u32);
+        assert_eq!(c.load(), 1);
+        c.store(2);
+        assert_eq!(c.swap(3), 2);
+        assert_eq!(c.update(|v| v + 1), 3);
+        assert_eq!(c.compare_exchange(4, 9), Ok(4));
+        assert_eq!(c.compare_exchange(4, 9), Err(9));
+        assert_eq!(c.into_inner(), 9);
     }
 
     #[test]

@@ -810,7 +810,8 @@ impl Repro {
             &full,
             64,
             &DeviceProfile::user_wan(),
-        );
+        )
+        .expect("baseline estimate");
         let integrated_total = integrated.breakdown.total_s();
         println!("integrated (server-side): {integrated_total:.2}s modelled");
         println!(

@@ -1,0 +1,731 @@
+//! The deterministic scheduler at the heart of `tdb-check`.
+//!
+//! A model run executes its virtual threads on real OS threads, but at
+//! most one runs at any instant: every synchronization operation routed
+//! here through the `parking_lot` shim's [`parking_lot::model::Hooks`]
+//! parks the calling thread and hands a *baton* to whichever enabled
+//! thread the active [`Decider`] picks. The sequence of picks is the
+//! *schedule trace* — a complete, replayable description of the
+//! interleaving.
+//!
+//! Blocking is virtual. The scheduler maintains its own lock tables and
+//! condvar waiter queues; a thread only touches the underlying `std`
+//! primitive once the scheduler has granted the operation, at which
+//! point the primitive is guaranteed uncontended among virtual threads.
+//! Untimed condvar waiters are *not* enabled until notified — so a lost
+//! notification manifests as a detected deadlock rather than a hang —
+//! while timed waiters can always be woken through the timeout path,
+//! which the scheduler treats as an ordinary choice (virtual time: the
+//! timeout fires whenever the schedule says it does).
+
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, OnceLock, PoisonError};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Failure, FailureKind};
+
+/// Hard cap on virtual threads per model: keeps enabled sets, traces
+/// and the systematic tree small enough to explore.
+pub const MAX_THREADS: usize = 8;
+
+/// Sentinel panic payload used to unwind parked virtual threads when a
+/// run aborts. Never reported as a model failure and never printed.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// The calling OS thread's virtual-thread index, when it is one.
+    pub(crate) static VTID: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The calling thread's virtual-thread index, if any.
+pub(crate) fn vtid() -> Option<usize> {
+    VTID.with(|v| v.get())
+}
+
+/// The operation a parked virtual thread is waiting to perform.
+///
+/// Operations split into two classes. *Eager* operations — `Start`,
+/// `Unlock`, `RwRel`, and an enabled `Join` — commute with every
+/// operation they can be co-enabled with (a release cannot race an
+/// acquire of the same lock, because that acquire is disabled until the
+/// release lands), so executing them immediately loses no behaviors:
+/// they are granted without consuming a schedule decision. Everything
+/// else conflicts with some co-enabled operation and is a *decision*:
+/// the explorer branches over all of them. This is the checker's
+/// partial-order reduction (DPOR-lite).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Pending {
+    /// Begin executing the thread closure (eager).
+    Start,
+    /// Acquire the mutex at this address (enabled while unheld).
+    Lock(usize),
+    /// Release the mutex (eager).
+    Unlock(usize),
+    /// Acquire the rwlock, shared or exclusive.
+    RwAcq { l: usize, write: bool },
+    /// Release the rwlock (eager).
+    RwRel { l: usize, write: bool },
+    /// About to enter a condvar wait: the mutex release and waiter
+    /// enqueue happen atomically when this is granted. A decision, so a
+    /// notify can race into the window between the caller's last
+    /// predicate check and the wait — the lost-wakeup window.
+    WaitEnter { cv: usize, m: usize, timed: bool },
+    /// Parked in the condvar's waiter queue. Untimed waits are not
+    /// enabled (only a notify can free them — so a lost notification
+    /// becomes a detected deadlock); timed waits are always enabled,
+    /// and being chosen means the timeout fired.
+    Waiting { cv: usize, m: usize, timed: bool },
+    /// Woken from a condvar wait (by notify or timeout); contending to
+    /// re-acquire the mutex before the wait call can return.
+    Relock { m: usize, timed_out: bool },
+    /// Wake one or all waiters (no waiters = the notify is lost).
+    Notify { cv: usize, all: bool },
+    /// One [`parking_lot::AtomicCell`] step.
+    Atomic(usize),
+    /// Join a virtual thread (eager once the thread has finished).
+    Join(usize),
+}
+
+/// Lifecycle of a virtual thread.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Phase {
+    /// Holds the baton and is executing user code.
+    Running,
+    /// Parked at a yield point, waiting for the scheduler's grant.
+    Blocked(Pending),
+    /// Closure returned (or thread unwound during an abort).
+    Finished,
+}
+
+/// One decision point in the systematic search tree: the enabled set
+/// that was seen there and which alternative the current path takes.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Enabled virtual threads at this decision, in index order.
+    pub choices: Vec<usize>,
+    /// Index into `choices` the current iteration takes.
+    pub cursor: usize,
+}
+
+/// Schedule decision policy for one iteration.
+pub(crate) enum Decider {
+    /// Follow an explicit trace; first-enabled once it is exhausted.
+    Replay { decisions: Vec<usize>, pos: usize },
+    /// Seeded uniform choice among the enabled set.
+    Random { rng: ChaCha8Rng },
+    /// Depth-bounded DFS over decision alternatives; first-enabled
+    /// default beyond the bound. The tree persists across iterations;
+    /// `clipped` records that some schedule ran past the depth bound
+    /// (so exhausting the tree is not full coverage).
+    Systematic {
+        tree: Vec<Node>,
+        pos: usize,
+        depth: usize,
+        clipped: bool,
+    },
+}
+
+impl Decider {
+    /// Picks one of `choices` (virtual-thread ids). `Err` carries a
+    /// divergence message: the recorded decision is impossible in the
+    /// current run.
+    fn choose(&mut self, choices: &[usize]) -> Result<usize, String> {
+        match self {
+            Decider::Replay { decisions, pos } => {
+                if *pos < decisions.len() {
+                    let want = decisions[*pos];
+                    *pos += 1;
+                    if choices.contains(&want) {
+                        Ok(want)
+                    } else {
+                        Err(format!(
+                            "schedule step {} chose vt{} but the enabled set is {:?} — \
+                             trace does not match this model/build",
+                            *pos - 1,
+                            want,
+                            choices
+                        ))
+                    }
+                } else {
+                    Ok(choices[0])
+                }
+            }
+            Decider::Random { rng } => Ok(choices[rng.gen_range(0..choices.len())]),
+            Decider::Systematic {
+                tree,
+                pos,
+                depth,
+                clipped,
+            } => {
+                if *pos < tree.len() {
+                    let node = &tree[*pos];
+                    let vt = node.choices[node.cursor];
+                    *pos += 1;
+                    if choices.contains(&vt) {
+                        Ok(vt)
+                    } else {
+                        Err(format!(
+                            "systematic prefix diverged at step {}: vt{} no longer \
+                             enabled in {:?} — the model is nondeterministic",
+                            *pos - 1,
+                            vt,
+                            choices
+                        ))
+                    }
+                } else if tree.len() < *depth {
+                    tree.push(Node {
+                        choices: choices.to_vec(),
+                        cursor: 0,
+                    });
+                    *pos = tree.len();
+                    Ok(choices[0])
+                } else {
+                    *clipped = true;
+                    Ok(choices[0])
+                }
+            }
+        }
+    }
+}
+
+/// Advances the systematic tree to the next unexplored schedule prefix;
+/// returns false when the depth-bounded tree is exhausted. Operations
+/// that commute with everything they can be co-enabled with were
+/// granted eagerly and never reached the tree; the remaining decision
+/// alternatives can all be disabled by a different ordering, so every
+/// sibling is explored.
+pub(crate) fn backtrack(tree: &mut Vec<Node>) -> bool {
+    while let Some(node) = tree.last_mut() {
+        node.cursor += 1;
+        if node.cursor < node.choices.len() {
+            return true;
+        }
+        tree.pop();
+    }
+    false
+}
+
+/// Shared/exclusive hold state of one modeled rwlock.
+#[derive(Debug, Default)]
+pub(crate) struct RwState {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+}
+
+/// All mutable state of the current model iteration. Guarded by the
+/// scheduler mutex; every transition happens under it.
+pub(crate) struct RunState {
+    /// An iteration is in progress (hooks are live).
+    pub active: bool,
+    /// The iteration is being torn down; parked threads must unwind.
+    pub aborted: bool,
+    /// First failure observed this iteration.
+    pub failure: Option<Failure>,
+    pub threads: Vec<Phase>,
+    /// Per-thread: whether the last condvar wake was a timeout.
+    pub wake_timed_out: Vec<bool>,
+    /// Mutex address → holder.
+    mutexes: HashMap<usize, usize>,
+    rwlocks: HashMap<usize, RwState>,
+    /// Condvar address → waiters in wait order.
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    /// First-seen interning of primitive addresses → stable ordinals,
+    /// so failure messages are byte-identical under replay.
+    names: HashMap<usize, usize>,
+    /// Decisions taken so far this iteration.
+    pub trace: Vec<usize>,
+    steps: usize,
+    step_limit: usize,
+    pub decider: Decider,
+    /// Join handles of spawned child OS threads (vt0's is held by the
+    /// controller).
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// OS threads that have not yet exited their wrapper.
+    pub live_os: usize,
+}
+
+impl RunState {
+    pub(crate) fn idle() -> Self {
+        Self {
+            active: false,
+            aborted: false,
+            failure: None,
+            threads: Vec::new(),
+            wake_timed_out: Vec::new(),
+            mutexes: HashMap::new(),
+            rwlocks: HashMap::new(),
+            cv_waiters: HashMap::new(),
+            names: HashMap::new(),
+            trace: Vec::new(),
+            steps: 0,
+            step_limit: 0,
+            decider: Decider::Replay {
+                decisions: Vec::new(),
+                pos: 0,
+            },
+            os_handles: Vec::new(),
+            live_os: 0,
+        }
+    }
+
+    /// Resets for a fresh iteration with the given policy.
+    pub(crate) fn reset(&mut self, decider: Decider, step_limit: usize) {
+        *self = Self::idle();
+        self.decider = decider;
+        self.step_limit = step_limit;
+    }
+
+    fn intern(&mut self, addr: usize) -> usize {
+        let next = self.names.len();
+        *self.names.entry(addr).or_insert(next)
+    }
+
+    fn intern_op(&mut self, op: &Pending) {
+        match *op {
+            Pending::Lock(m) | Pending::Unlock(m) | Pending::Relock { m, .. } => {
+                self.intern(m);
+            }
+            Pending::RwAcq { l, .. } | Pending::RwRel { l, .. } => {
+                self.intern(l);
+            }
+            Pending::WaitEnter { cv, m, .. } | Pending::Waiting { cv, m, .. } => {
+                self.intern(cv);
+                self.intern(m);
+            }
+            Pending::Notify { cv, .. } => {
+                self.intern(cv);
+            }
+            Pending::Atomic(c) => {
+                self.intern(c);
+            }
+            Pending::Start | Pending::Join(_) => {}
+        }
+    }
+
+    fn name(&self, addr: usize) -> usize {
+        self.names.get(&addr).copied().unwrap_or(usize::MAX)
+    }
+
+    /// Whether `vt`'s pending operation can be granted right now.
+    fn enabled(&self, op: &Pending) -> bool {
+        match *op {
+            Pending::Start
+            | Pending::Unlock(_)
+            | Pending::RwRel { .. }
+            | Pending::WaitEnter { .. }
+            | Pending::Notify { .. }
+            | Pending::Atomic(_) => true,
+            Pending::Lock(m) | Pending::Relock { m, .. } => !self.mutexes.contains_key(&m),
+            Pending::RwAcq { l, write } => match self.rwlocks.get(&l) {
+                None => true,
+                Some(s) => s.writer.is_none() && (!write || s.readers.is_empty()),
+            },
+            // choosing a timed waiter means its timeout fires; untimed
+            // waiters can only be woken by a notify
+            Pending::Waiting { timed, .. } => timed,
+            Pending::Join(t) => matches!(self.threads[t], Phase::Finished),
+        }
+    }
+
+    /// Whether `op` is in the eager class: enabled, and commuting with
+    /// every operation it can be co-enabled with — granting it
+    /// immediately (without a schedule decision) loses no behaviors.
+    fn eager(&self, op: &Pending) -> bool {
+        match *op {
+            Pending::Start | Pending::Unlock(_) | Pending::RwRel { .. } => true,
+            Pending::Join(t) => matches!(self.threads[t], Phase::Finished),
+            _ => false,
+        }
+    }
+
+    /// Applies `vt`'s pending transition. Returns true when `vt` now
+    /// holds the baton (caller stops picking).
+    fn apply(&mut self, vt: usize) -> bool {
+        let Phase::Blocked(op) = self.threads[vt].clone() else {
+            unreachable!("applied a transition to a non-blocked thread");
+        };
+        match op {
+            Pending::Start | Pending::Atomic(_) | Pending::Join(_) => {
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::Lock(m) => {
+                self.mutexes.insert(m, vt);
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::Unlock(m) => {
+                self.mutexes.remove(&m);
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::RwAcq { l, write } => {
+                let s = self.rwlocks.entry(l).or_default();
+                if write {
+                    s.writer = Some(vt);
+                } else {
+                    s.readers.push(vt);
+                }
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::RwRel { l, write } => {
+                if let Some(s) = self.rwlocks.get_mut(&l) {
+                    if write {
+                        s.writer = None;
+                    } else if let Some(p) = s.readers.iter().position(|&r| r == vt) {
+                        s.readers.remove(p);
+                    }
+                }
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::WaitEnter { cv, m, timed } => {
+                // the atomic heart of a condvar wait: release the mutex
+                // and join the waiter queue in one indivisible step
+                let holder = self.mutexes.remove(&m);
+                debug_assert_eq!(holder, Some(vt), "condvar wait without holding its mutex");
+                self.cv_waiters.entry(cv).or_default().push(vt);
+                self.threads[vt] = Phase::Blocked(Pending::Waiting { cv, m, timed });
+                false
+            }
+            Pending::Waiting { cv, m, .. } => {
+                // the scheduler chose the timeout path: leave the waiter
+                // queue and contend for the mutex; no baton handed yet
+                if let Some(ws) = self.cv_waiters.get_mut(&cv) {
+                    ws.retain(|&w| w != vt);
+                }
+                self.threads[vt] = Phase::Blocked(Pending::Relock { m, timed_out: true });
+                false
+            }
+            Pending::Relock { m, timed_out } => {
+                self.mutexes.insert(m, vt);
+                self.wake_timed_out[vt] = timed_out;
+                self.threads[vt] = Phase::Running;
+                true
+            }
+            Pending::Notify { cv, all } => {
+                let woken: Vec<usize> = match self.cv_waiters.get_mut(&cv) {
+                    Some(ws) if all => std::mem::take(ws),
+                    Some(ws) if !ws.is_empty() => vec![ws.remove(0)],
+                    _ => Vec::new(), // no waiters: the notify is lost
+                };
+                for w in woken {
+                    let Phase::Blocked(Pending::Waiting { m, .. }) = self.threads[w] else {
+                        unreachable!("condvar waiter list out of sync");
+                    };
+                    self.threads[w] = Phase::Blocked(Pending::Relock {
+                        m,
+                        timed_out: false,
+                    });
+                }
+                self.threads[vt] = Phase::Running;
+                true
+            }
+        }
+    }
+
+    /// Records the first failure and starts the abort protocol.
+    pub(crate) fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                trace: trace_string(&self.trace),
+            });
+        }
+        self.aborted = true;
+    }
+
+    /// Human-readable description of why no thread can run.
+    fn stuck_report(&self) -> String {
+        let mut parts = Vec::new();
+        for (vt, ph) in self.threads.iter().enumerate() {
+            let Phase::Blocked(op) = ph else { continue };
+            let what = match *op {
+                Pending::Lock(m) => format!("waiting to lock mutex #{}", self.name(m)),
+                Pending::Relock { m, .. } => format!(
+                    "woken from a condvar but waiting to re-lock mutex #{}",
+                    self.name(m)
+                ),
+                Pending::Waiting { cv, .. } => format!(
+                    "waiting on condvar #{} with no notify in flight (lost wakeup?)",
+                    self.name(cv)
+                ),
+                Pending::RwAcq { l, write } => format!(
+                    "waiting for {} access to rwlock #{}",
+                    if write { "exclusive" } else { "shared" },
+                    self.name(l)
+                ),
+                Pending::Join(t) => format!("joining vt{t}"),
+                ref other => format!("stuck at {other:?}"),
+            };
+            parts.push(format!("vt{vt} {what}"));
+        }
+        format!("deadlock: {}", parts.join("; "))
+    }
+}
+
+/// Formats a decision list as the canonical dot-separated trace.
+pub(crate) fn trace_string(decisions: &[usize]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Parses a dot-separated trace. `Err` names the offending component.
+pub(crate) fn parse_trace(s: &str) -> Result<Vec<usize>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('.')
+        .map(|part| {
+            part.parse::<usize>()
+                .map_err(|_| format!("bad schedule component {part:?} (want a thread index)"))
+        })
+        .collect()
+}
+
+/// Picks and applies transitions until some thread holds the baton, the
+/// iteration completes, or it fails (deadlock / step limit / policy
+/// divergence). Called with zero threads in [`Phase::Running`].
+pub(crate) fn advance(st: &mut RunState) {
+    loop {
+        if st.aborted {
+            return;
+        }
+        // eager pass: grant commuting-with-everything operations
+        // immediately (lowest index first — deterministic), consuming
+        // no schedule decision
+        let eager = st.threads.iter().enumerate().find_map(|(vt, ph)| match ph {
+            Phase::Blocked(op) if st.eager(op) => Some(vt),
+            _ => None,
+        });
+        if let Some(vt) = eager {
+            if st.apply(vt) {
+                return;
+            }
+            continue;
+        }
+        let mut choices = Vec::new();
+        for (vt, ph) in st.threads.iter().enumerate() {
+            if let Phase::Blocked(op) = ph {
+                if st.enabled(op) {
+                    choices.push(vt);
+                }
+            }
+        }
+        if choices.is_empty() {
+            if st.threads.iter().all(|p| *p == Phase::Finished) {
+                return; // iteration complete
+            }
+            let msg = st.stuck_report();
+            st.fail(FailureKind::Deadlock, msg);
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.step_limit {
+            let limit = st.step_limit;
+            st.fail(
+                FailureKind::StepLimit,
+                format!(
+                    "exceeded {limit} scheduling steps — livelock, or raise the \
+                     TDB_MODEL_STEPS budget"
+                ),
+            );
+            return;
+        }
+        let vt = match st.decider.choose(&choices) {
+            Ok(vt) => vt,
+            Err(msg) => {
+                st.fail(FailureKind::ReplayDivergence, msg);
+                return;
+            }
+        };
+        st.trace.push(vt);
+        if st.apply(vt) {
+            return;
+        }
+    }
+}
+
+/// The process-wide scheduler: iteration state plus the condvar every
+/// parked virtual thread (and the controller) waits on.
+pub(crate) struct Sched {
+    state: StdMutex<RunState>,
+    cv: StdCondvar,
+}
+
+/// The scheduler singleton.
+pub(crate) fn sched() -> &'static Sched {
+    static S: OnceLock<Sched> = OnceLock::new();
+    S.get_or_init(|| Sched {
+        state: StdMutex::new(RunState::idle()),
+        cv: StdCondvar::new(),
+    })
+}
+
+/// Unwinds the calling virtual thread during an abort — unless it is
+/// already unwinding (a panic inside unwinding aborts the process), in
+/// which case the hook quietly becomes a no-op.
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        panic_any(ModelAbort);
+    }
+}
+
+impl Sched {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, RunState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Controller-side wait on the scheduler condvar (teardown barrier).
+    pub(crate) fn controller_wait<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, RunState>,
+    ) -> std::sync::MutexGuard<'a, RunState> {
+        self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The universal yield point: registers the pending operation, lets
+    /// the decider hand the baton onward, and parks until granted.
+    pub(crate) fn yield_op(&self, op: Pending) {
+        let me = vtid().expect("yield point on a non-virtual thread");
+        let mut st = self.lock();
+        if !st.active {
+            return;
+        }
+        if st.aborted {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        st.intern_op(&op);
+        st.threads[me] = Phase::Blocked(op);
+        advance(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.aborted {
+                drop(st);
+                abort_unwind();
+                return;
+            }
+            if st.threads[me] == Phase::Running {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Condvar wait: parks via [`Self::yield_op`], then reports whether
+    /// the wake came from the timeout path.
+    pub(crate) fn cv_wait(&self, cv: usize, m: usize, timed: bool) -> bool {
+        let me = vtid().expect("condvar wait on a non-virtual thread");
+        self.yield_op(Pending::WaitEnter { cv, m, timed });
+        let st = self.lock();
+        st.wake_timed_out.get(me).copied().unwrap_or(false)
+    }
+
+    /// Parks a fresh virtual thread until its `Start` is granted.
+    /// Returns false when the run aborted before the thread ever ran.
+    pub(crate) fn wait_start(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.aborted {
+                return false;
+            }
+            if st.threads[me] == Phase::Running {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Thread closure finished (or unwound): hand the baton onward.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = Phase::Finished;
+        if !st.aborted {
+            advance(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Thread closure panicked with a genuine (non-sentinel) payload:
+    /// record the failure and abort the iteration.
+    pub(crate) fn fail_panic(&self, me: usize, message: String) {
+        let mut st = self.lock();
+        st.threads[me] = Phase::Finished;
+        st.fail(FailureKind::Panic, message);
+        self.cv.notify_all();
+    }
+
+    /// OS-thread wrapper exit: the controller tears down once all live
+    /// wrappers are gone.
+    pub(crate) fn os_exit(&self) {
+        let mut st = self.lock();
+        st.live_os -= 1;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_classification() {
+        let st = {
+            let mut st = RunState::idle();
+            st.threads = vec![Phase::Finished, Phase::Running];
+            st
+        };
+        assert!(st.eager(&Pending::Start));
+        assert!(st.eager(&Pending::Unlock(1)));
+        assert!(st.eager(&Pending::RwRel { l: 1, write: true }));
+        assert!(st.eager(&Pending::Join(0)), "target finished: eager");
+        assert!(!st.eager(&Pending::Join(1)), "target running: blocked");
+        assert!(!st.eager(&Pending::Lock(1)));
+        assert!(!st.eager(&Pending::Notify { cv: 1, all: false }));
+        assert!(!st.eager(&Pending::Atomic(1)));
+        assert!(!st.eager(&Pending::WaitEnter {
+            cv: 1,
+            m: 2,
+            timed: false
+        }));
+    }
+
+    #[test]
+    fn backtrack_walks_the_tree_depth_first() {
+        let mut tree = vec![
+            Node {
+                choices: vec![0, 1],
+                cursor: 0,
+            },
+            Node {
+                choices: vec![1, 2],
+                cursor: 0,
+            },
+        ];
+        assert!(backtrack(&mut tree));
+        assert_eq!((tree.len(), tree[1].cursor), (2, 1));
+        assert!(backtrack(&mut tree));
+        assert_eq!((tree.len(), tree[0].cursor), (1, 1));
+        assert!(!backtrack(&mut tree));
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        assert_eq!(parse_trace("").unwrap(), Vec::<usize>::new());
+        assert_eq!(parse_trace("0.2.1").unwrap(), vec![0, 2, 1]);
+        assert_eq!(trace_string(&[0, 2, 1]), "0.2.1");
+        assert!(parse_trace("0.x.1").is_err());
+    }
+}

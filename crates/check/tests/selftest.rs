@@ -1,0 +1,227 @@
+//! Seeded-bug corpus: concurrency bugs the checker MUST catch within
+//! the default budget, plus replay fidelity. Each bug is paired with
+//! its corrected form, which must pass exhaustively — the checker has
+//! to be sensitive to the bug and only the bug.
+
+use std::sync::Arc;
+
+use parking_lot::{AtomicCell, Condvar, Mutex};
+use proptest::prelude::*;
+use tdb_check::{thread, FailureKind, Model, Report};
+
+/// Classic ABBA: one thread locks A then B, the other B then A.
+fn abba_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let ga = a2.lock();
+            let gb = b2.lock();
+            drop((ga, gb));
+        });
+        let gb = b.lock();
+        let ga = a.lock();
+        drop((gb, ga));
+        t.join();
+    }
+}
+
+/// Lost `notify_one`: the readiness flag is mutated *outside* the
+/// mutex, so the notify can fire in the window between the waiter's
+/// predicate check and its wait — and is lost forever.
+fn lost_notify_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let ready = Arc::new(AtomicCell::new(false));
+        let gate = Arc::new((Mutex::new(()), Condvar::new()));
+        let (ready2, gate2) = (Arc::clone(&ready), Arc::clone(&gate));
+        let t = thread::spawn(move || {
+            ready2.store(true);
+            gate2.1.notify_one();
+        });
+        let mut g = gate.0.lock();
+        while !ready.load() {
+            gate.1.wait(&mut g);
+        }
+        drop(g);
+        t.join();
+    }
+}
+
+/// Non-atomic check-then-act: `load` + `store` instead of an atomic
+/// `update`, losing increments under the wrong interleaving.
+fn racy_counter_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let c = Arc::new(AtomicCell::new(0u32));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c2.load();
+            c2.store(v + 1);
+        });
+        let v = c.load();
+        c.store(v + 1);
+        t.join();
+        assert_eq!(c.load(), 2, "lost increment");
+    }
+}
+
+/// Runs a buggy model under the default budget and asserts the checker
+/// caught it with the expected failure kind; then replays the reported
+/// trace twice and asserts the failure reproduces byte-identically.
+fn must_catch(name: &str, kind: FailureKind, model: fn() -> Box<dyn Fn() + Send + Sync>) {
+    let report = Model::new(name).check_quiet(model());
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("checker missed the seeded bug in '{name}'"));
+    assert_eq!(failure.kind, kind, "wrong failure kind: {failure:?}");
+    assert!(!failure.trace.is_empty(), "failure must carry a trace");
+    for round in 0..2 {
+        let replayed: Report = Model::new(name).replay(&failure.trace, model());
+        let again = replayed
+            .failure
+            .unwrap_or_else(|| panic!("round {round}: trace did not reproduce the failure"));
+        assert_eq!(again, failure, "round {round}: replay diverged");
+    }
+}
+
+#[test]
+fn catches_abba_deadlock() {
+    must_catch("seeded: ABBA deadlock", FailureKind::Deadlock, || {
+        Box::new(abba_model())
+    });
+}
+
+#[test]
+fn catches_lost_notify_one() {
+    must_catch("seeded: lost notify_one", FailureKind::Deadlock, || {
+        Box::new(lost_notify_model())
+    });
+}
+
+#[test]
+fn catches_check_then_act_counter() {
+    must_catch("seeded: racy counter", FailureKind::Panic, || {
+        Box::new(racy_counter_model())
+    });
+}
+
+/// The systematic phase is deterministic: two independent explorations
+/// of the same model report the same trace.
+#[test]
+fn exploration_is_deterministic() {
+    let a = Model::new("det A").check_quiet(abba_model());
+    let b = Model::new("det B").check_quiet(abba_model());
+    assert_eq!(a.failure, b.failure);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+/// Corrected counterparts must pass, and pass exhaustively where the
+/// bounded space allows it.
+#[test]
+fn fixed_models_pass() {
+    let ordered = Model::new("fixed: ordered locks")
+        .budget(1024)
+        .check_quiet(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let ga = a2.lock();
+                let gb = b2.lock();
+                drop((ga, gb));
+            });
+            let ga = a.lock();
+            let gb = b.lock();
+            drop((ga, gb));
+            t.join();
+        });
+    assert!(ordered.failure.is_none(), "{:?}", ordered.failure);
+
+    let guarded = Model::new("fixed: flag under the mutex")
+        .budget(1024)
+        .check_quiet(|| {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let gate2 = Arc::clone(&gate);
+            let t = thread::spawn(move || {
+                *gate2.0.lock() = true;
+                gate2.1.notify_one();
+            });
+            let mut ready = gate.0.lock();
+            while !*ready {
+                gate.1.wait(&mut ready);
+            }
+            drop(ready);
+            t.join();
+        });
+    assert!(guarded.failure.is_none(), "{:?}", guarded.failure);
+
+    let atomic = Model::new("fixed: atomic update")
+        .budget(1024)
+        .check_quiet(|| {
+            let c = Arc::new(AtomicCell::new(0u32));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                c2.update(|v| v + 1);
+            });
+            c.update(|v| v + 1);
+            t.join();
+            assert_eq!(c.load(), 2);
+        });
+    assert!(atomic.failure.is_none(), "{:?}", atomic.failure);
+}
+
+/// Timed waits surface both outcomes: a model that relies on the
+/// timeout path terminates (no deadlock), and the scheduler can drive
+/// the wait through timeout and notify alike.
+#[test]
+fn timed_wait_explores_timeout_and_notify() {
+    let report = Model::new("timed wait").budget(1024).check_quiet(|| {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let t = thread::spawn(move || {
+            *gate2.0.lock() = true;
+            gate2.1.notify_one();
+        });
+        let mut done = gate.0.lock();
+        let mut timeouts = 0u32;
+        while !*done {
+            let r = gate
+                .1
+                .wait_for(&mut done, std::time::Duration::from_millis(1));
+            if r.timed_out() {
+                timeouts += 1;
+                // bounded retry: a real system would re-check its
+                // deadline; the model bounds the loop explicitly
+                if timeouts > 4 {
+                    break;
+                }
+            }
+        }
+        drop(done);
+        t.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any reported schedule trace replays to the same failure: explore
+    /// a seeded-buggy model under a random seed (forcing random-walk
+    /// coverage with a tiny systematic depth), then replay whatever
+    /// trace was reported and require an identical failure.
+    #[test]
+    fn reported_traces_replay_to_the_same_failure(seed in 0u64..1_000) {
+        let report = Model::new("proptest: racy counter")
+            .seed(seed)
+            .depth(2)
+            .budget(256)
+            .check_quiet(racy_counter_model());
+        let failure = report.failure.expect("budget must be enough to catch the seeded bug");
+        let replayed = Model::new("proptest: racy counter replay")
+            .replay(&failure.trace, racy_counter_model())
+            .failure
+            .expect("trace must reproduce the failure");
+        prop_assert_eq!(replayed, failure);
+    }
+}

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use tdb_field::PaddedVector;
-use tdb_storage::AtomRecord;
+use tdb_storage::{AtomRecord, StorageError, StorageResult};
 use tdb_zorder::{AtomCoord, Box3, ATOM_WIDTH};
 
 /// Atoms (by zindex) covering `domain` dilated by `halo`, with periodic
@@ -22,29 +22,35 @@ pub fn needed_atoms(
     periodic: [bool; 3],
 ) -> Vec<AtomCoord> {
     let w = ATOM_WIDTH as i64;
-    let n = [dims.0 as i64, dims.1 as i64, dims.2 as i64];
+    let dims = [dims.0 as i64, dims.1 as i64, dims.2 as i64];
     let mut axis_atoms: [Vec<i64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for ax in 0..3 {
-        let lo = i64::from(domain.lo[ax]) - halo as i64;
-        let hi = i64::from(domain.hi[ax]) + halo as i64;
+    for (((axis, &n), &per), (&lo, &hi)) in axis_atoms
+        .iter_mut()
+        .zip(&dims)
+        .zip(&periodic)
+        .zip(domain.lo.iter().zip(&domain.hi))
+    {
+        let lo = i64::from(lo) - halo as i64;
+        let hi = i64::from(hi) + halo as i64;
         let mut set = std::collections::BTreeSet::new();
         let mut g = lo;
         while g <= hi {
-            let wrapped = if periodic[ax] {
-                g.rem_euclid(n[ax])
+            let wrapped = if per {
+                g.rem_euclid(n)
             } else {
-                g.clamp(0, n[ax] - 1)
+                g.clamp(0, n - 1)
             };
             set.insert(wrapped / w);
             // jump to the start of the next atom
             g = (g.div_euclid(w) + 1) * w;
         }
-        axis_atoms[ax] = set.into_iter().collect();
+        *axis = set.into_iter().collect();
     }
+    let [xs, ys, zs] = &axis_atoms;
     let mut out = Vec::new();
-    for &az in &axis_atoms[2] {
-        for &ay in &axis_atoms[1] {
-            for &ax in &axis_atoms[0] {
+    for &az in zs {
+        for &ay in ys {
+            for &ax in xs {
                 out.push(AtomCoord::new(ax as u32, ay as u32, az as u32));
             }
         }
@@ -60,15 +66,16 @@ pub fn needed_atoms(
 /// [`needed_atoms`] must be present. Scalar fields (ncomp = 1) land in
 /// component 0 of the padded vector.
 ///
-/// # Panics
-/// Panics if a required atom is missing — the fetch layer failed.
+/// A missing atom is a fetch-layer failure reported as a typed
+/// [`StorageError`], so it travels the proto error channel instead of
+/// killing the worker thread.
 pub fn assemble_padded(
     domain: &Box3,
     halo: usize,
     dims: (usize, usize, usize),
     periodic: [bool; 3],
     atoms: &HashMap<u64, AtomRecord>,
-) -> PaddedVector<3> {
+) -> StorageResult<PaddedVector<3>> {
     let [ex, ey, ez] = domain.extent();
     let (ex, ey, ez) = (ex as usize, ey as usize, ez as usize);
     let mut padded = PaddedVector::zeros(ex, ey, ez, halo);
@@ -79,35 +86,46 @@ pub fn assemble_padded(
         for y in -h..(ey as isize + h) {
             for x in -h..(ex as isize + h) {
                 let mut g = [0u32; 3];
-                for (ax, local) in [x, y, z].into_iter().enumerate() {
-                    let raw = i64::from(domain.lo[ax]) + local as i64;
-                    g[ax] = if periodic[ax] {
-                        raw.rem_euclid(n[ax]) as u32
+                for (((slot, local), &lo), (&n, &per)) in g
+                    .iter_mut()
+                    .zip([x, y, z])
+                    .zip(&domain.lo)
+                    .zip(n.iter().zip(&periodic))
+                {
+                    let raw = i64::from(lo) + local as i64;
+                    *slot = if per {
+                        raw.rem_euclid(n) as u32
                     } else {
-                        raw.clamp(0, n[ax] - 1) as u32
+                        raw.clamp(0, n - 1) as u32
                     };
                 }
-                let atom = AtomCoord::containing(g[0], g[1], g[2]);
+                let [gx, gy, gz] = g;
+                let atom = AtomCoord::containing(gx, gy, gz);
                 let rec = match cached {
                     Some((a, r)) if a == atom => r,
                     _ => {
-                        let r = atoms
-                            .get(&atom.zindex())
-                            .unwrap_or_else(|| panic!("missing atom {atom:?}"));
+                        let r = atoms.get(&atom.zindex()).ok_or_else(|| {
+                            StorageError::internal(format!(
+                                "atom {atom:?} missing from the fetch result"
+                            ))
+                        })?;
                         cached = Some((atom, r));
                         r
                     }
                 };
-                let off = atom
-                    .point_offset(g[0], g[1], g[2])
-                    .expect("point within its atom");
+                let off = atom.point_offset(gx, gy, gz).ok_or_else(|| {
+                    StorageError::internal(format!(
+                        "grid point ({gx},{gy},{gz}) outside its containing atom {atom:?}"
+                    ))
+                })?;
                 for c in 0..usize::from(rec.ncomp).min(3) {
+                    // tdb-lint: allow(panic-path) — off < ATOM_POINTS by point_offset's contract
                     padded.comp_mut(c).set(x, y, z, rec.plane(c)[off]);
                 }
             }
         }
     }
-    padded
+    Ok(padded)
 }
 
 #[cfg(test)]
@@ -180,7 +198,7 @@ mod tests {
         let dims = (32, 32, 32);
         let atoms = atom_map(dims, 3);
         let domain = Box3::new([8, 16, 8], [15, 23, 15]);
-        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms);
+        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms).unwrap();
         // interior point
         let v = p.at(0, 0, 0);
         assert_eq!(v[0], (8 + 160 + 800) as f32);
@@ -195,7 +213,7 @@ mod tests {
         let dims = (16, 16, 16);
         let atoms = atom_map(dims, 1);
         let domain = Box3::new([8, 8, 8], [15, 15, 15]);
-        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms);
+        let p = assemble_padded(&domain, 2, dims, [true; 3], &atoms).unwrap();
         // ghost at local x = 8 (global 16) wraps to x = 0
         assert_eq!(p.at(8, 0, 0)[0], (80 + 800) as f32);
         // scalar input: components 1, 2 stay zero
@@ -204,12 +222,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing atom")]
-    fn assemble_panics_on_missing_atom() {
+    fn assemble_errors_on_missing_atom() {
         let dims = (16, 16, 16);
         let mut atoms = atom_map(dims, 1);
         atoms.remove(&AtomCoord::new(0, 0, 0).zindex());
         let domain = Box3::new([0, 0, 0], [7, 7, 7]);
-        let _ = assemble_padded(&domain, 0, dims, [true; 3], &atoms);
+        let err = assemble_padded(&domain, 0, dims, [true; 3], &atoms)
+            .expect_err("missing atom must be a typed error");
+        assert!(
+            err.to_string().contains("missing from the fetch result"),
+            "{err}"
+        );
     }
 }

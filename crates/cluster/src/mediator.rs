@@ -1474,7 +1474,7 @@ impl Cluster {
                 })?;
                 atoms.insert(rec.key.zindex, rec);
             }
-            let padded = assemble_padded(&domain, halo, dims, self.grid.periodic, &atoms);
+            let padded = assemble_padded(&domain, halo, dims, self.grid.periodic, &atoms)?;
             let local = [px - f64::from(cx), py - f64::from(cy), pz - f64::from(cz)];
             out.push(tdb_kernels::interp::interpolate::<3>(&padded, order, local));
         }
@@ -1566,10 +1566,7 @@ impl Cluster {
 /// source for direct point access (cutouts, interpolation). Down-marked
 /// nodes keep serving storage (only their query evaluator refuses), so
 /// the chain head is normally the primary, exactly as before replication.
-pub(crate) fn storage_source(
-    topo: &Topology,
-    atom: AtomCoord,
-) -> StorageResult<&Arc<NodeRuntime>> {
+pub(crate) fn storage_source(topo: &Topology, atom: AtomCoord) -> StorageResult<&Arc<NodeRuntime>> {
     let chunk = topo.layout.chunk_index_of_atom(atom);
     topo.layout
         .replicas_of_chunk(chunk)

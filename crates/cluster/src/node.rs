@@ -412,7 +412,7 @@ impl NodeRuntime {
                         self.grid.dims(),
                         self.grid.periodic,
                         &atoms,
-                    );
+                    )?;
                     let (dlx, dly, dlz) = task.domain.lo3();
                     let norm = req.derived.eval(
                         &padded,

@@ -305,7 +305,10 @@ impl Layout {
         let code = (chunk_code << shift) | (atom.zindex() & ((1u64 << shift) - 1));
         // binary search the chunk whose range contains the code
         let idx = self.chunks.partition_point(|c| c.zrange().end < code);
-        debug_assert!(self.chunks[idx].zrange().contains(code));
+        debug_assert!(self
+            .chunks
+            .get(idx)
+            .is_some_and(|c| c.zrange().contains(code)));
         idx
     }
 

@@ -55,20 +55,29 @@ impl ScanScheduler {
         let (tx, rx) = sync_channel(1);
         let leader = {
             let mut open = self.open.lock();
-            match open.get_mut(&key) {
-                Some(batch) => {
-                    batch.entries.push((query, tx));
-                    self.joined.notify_all();
-                    false
-                }
-                None => {
-                    open.insert(
-                        key.clone(),
-                        Batch {
-                            entries: vec![(query, tx)],
-                        },
-                    );
-                    true
+            loop {
+                match open.get_mut(&key) {
+                    Some(batch) if batch.entries.len() < self.max_batch => {
+                        batch.entries.push((query, tx));
+                        self.joined.notify_all();
+                        break false;
+                    }
+                    Some(_) => {
+                        // the open batch is already full; its leader just
+                        // hasn't woken to close it yet. Joining anyway
+                        // would overshoot max_batch, so wait for the
+                        // close and open (or join) the next batch.
+                        self.joined.wait(&mut open);
+                    }
+                    None => {
+                        open.insert(
+                            key.clone(),
+                            Batch {
+                                entries: vec![(query, tx)],
+                            },
+                        );
+                        break true;
+                    }
                 }
             }
         };
@@ -84,14 +93,17 @@ impl ScanScheduler {
                     break;
                 }
             }
-            // removing the batch closes it: later arrivals open the next one
-            let Some(batch) = open.remove(&key) else {
-                drop(open);
+            // removing the batch closes it: later arrivals open the next
+            // one. The notify wakes queries parked on a full batch —
+            // without it a run at max_batch strands them forever.
+            let closed = open.remove(&key);
+            self.joined.notify_all();
+            drop(open);
+            let Some(batch) = closed else {
                 return Err(StorageError::internal(
                     "scan-group batch vanished under its leader",
                 ));
             };
-            drop(open);
             let n = batch.entries.len();
             tdb_obs::add("scheduler.batches", 1);
             if n > 1 {

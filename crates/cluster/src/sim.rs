@@ -32,11 +32,10 @@ pub fn pipeline_makespan(chunks: &[ChunkCost], p: usize) -> (f64, f64) {
     let mut total = 0.0f64;
     for chunk in chunks {
         // earliest-available worker picks up the chunk
-        let (widx, &wfree) = workers
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("p >= 1");
+        let Some((widx, &wfree)) = workers.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            continue; // p == 0: nothing can be scheduled
+        };
         let mut t = wfree;
         // the chunk's reads queue on each device in turn
         for &(dev, io_s) in &chunk.io {
@@ -47,7 +46,9 @@ pub fn pipeline_makespan(chunks: &[ChunkCost], p: usize) -> (f64, f64) {
             t = end;
         }
         let end = t + chunk.compute_s;
-        workers[widx] = end;
+        if let Some(w) = workers.get_mut(widx) {
+            *w = end;
+        }
         total = total.max(end);
     }
     // pure-I/O schedule: per-device serial service, devices in parallel

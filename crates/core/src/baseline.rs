@@ -13,6 +13,7 @@ use tdb_cluster::mediator::ThresholdRequest;
 use tdb_cluster::{Cluster, QueryMode, TimeBreakdown};
 use tdb_kernels::DerivedField;
 use tdb_storage::device::DeviceProfile;
+use tdb_storage::StorageResult;
 use tdb_zorder::Box3;
 
 /// Modelled cost of the client-side evaluation strategy.
@@ -48,7 +49,7 @@ pub fn local_evaluation_estimate(
     query_box: &Box3,
     subregion_edge: u32,
     user_link: &DeviceProfile,
-) -> LocalBaselineReport {
+) -> StorageResult<LocalBaselineReport> {
     // the user must fetch every component the derived field is built from
     let ncomp_shipped: u64 = match derived {
         DerivedField::Norm => 3,
@@ -75,7 +76,7 @@ pub fn local_evaluation_estimate(
         strict: false,
         node_deadline_s: None,
     };
-    let server = server_cost(cluster, &req);
+    let server = server_cost(cluster, &req)?;
     let npoints = query_box.num_points();
     let ext = query_box.extent();
     let sub = u64::from(subregion_edge.max(1));
@@ -83,25 +84,23 @@ pub fn local_evaluation_estimate(
     let download_bytes = tdb_cluster::wire::xml_cutout_bytes(npoints, ncomp_shipped);
     // each subquery pays a round-trip; the payload streams at link rate
     let transfer_s = user_link.time(2 * num_subqueries, download_bytes);
-    LocalBaselineReport {
+    Ok(LocalBaselineReport {
         num_subqueries,
         download_bytes,
         server_s: server,
         transfer_s,
         total_s: server + transfer_s,
         ncomp_shipped,
-    }
+    })
 }
 
 /// Modelled server time for producing the derived field: the I/O and
 /// compute phases of a full-scan query (PDF machinery reuses the exact
 /// scan+kernel path without materialising points).
-fn server_cost(cluster: &Cluster, req: &ThresholdRequest) -> f64 {
-    let pdf = cluster
-        .get_pdf(req, 0.0, 1.0, 4)
-        .expect("baseline server evaluation");
+fn server_cost(cluster: &Cluster, req: &ThresholdRequest) -> StorageResult<f64> {
+    let pdf = cluster.get_pdf(req, 0.0, 1.0, 4)?;
     let b: TimeBreakdown = pdf.breakdown;
-    b.io_s + b.compute_s
+    Ok(b.io_s + b.compute_s)
 }
 
 #[cfg(test)]

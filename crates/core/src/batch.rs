@@ -189,15 +189,23 @@ impl BatchSession {
         }
     }
 
-    /// Enqueues a job and returns its id immediately.
+    /// Enqueues a job and returns its id immediately. If the session is
+    /// shutting down (queue closed or worker gone) the job lands directly
+    /// in a terminal [`JobState::Failed`] instead of panicking.
     pub fn submit(&self, spec: JobSpec) -> JobId {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         set_state(&self.board, id, JobState::Queued);
-        self.sender
+        let sent = self
+            .sender
             .as_ref()
-            .expect("session open")
-            .send((id, spec))
-            .expect("worker alive");
+            .is_some_and(|tx| tx.send((id, spec)).is_ok());
+        if !sent {
+            set_state(
+                &self.board,
+                id,
+                JobState::Failed("batch session is shut down".to_string()),
+            );
+        }
         id
     }
 
@@ -206,14 +214,16 @@ impl BatchSession {
         self.board.states.lock().get(&id).cloned()
     }
 
-    /// Blocks until the job reaches a terminal state.
+    /// Blocks until the job reaches a terminal state. An id this session
+    /// never issued resolves to a terminal [`JobState::Failed`] rather
+    /// than blocking forever or panicking.
     pub fn wait(&self, id: JobId) -> JobState {
         let mut states = self.board.states.lock();
         loop {
             match states.get(&id) {
                 Some(s) if s.is_terminal() => return s.clone(),
                 Some(_) => self.board.changed.wait(&mut states),
-                None => panic!("unknown job {id:?}"),
+                None => return JobState::Failed(format!("unknown job {id:?}")),
             }
         }
     }

@@ -210,7 +210,9 @@ impl TurbulenceService {
             .into_iter()
             .map(|slot| {
                 let _req = slot?;
-                let response = responses.next().expect("one response per valid query");
+                let response = responses.next().ok_or_else(|| {
+                    QueryError::Backend("batch executor returned too few responses".to_string())
+                })?;
                 let response = response.map_err(|e| {
                     tdb_obs::add("query.threshold.failed", 1);
                     QueryError::Backend(e.to_string())
@@ -315,7 +317,7 @@ impl TurbulenceService {
         let mut bin = counts.len();
         while bin > 0 && cumulative < k as u64 {
             bin -= 1;
-            cumulative += counts[bin];
+            cumulative += counts.get(bin).copied().unwrap_or(0);
         }
         let mut threshold = stats.min + width * bin as f64;
         loop {
@@ -412,7 +414,7 @@ impl TurbulenceService {
         let k = ((values.len() as f64) * fraction).round() as usize;
         let k = k.clamp(1, values.len());
         let idx = values.len() - k;
-        values.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
-        Ok(f64::from(values[idx]))
+        let (_, pivot, _) = values.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
+        Ok(f64::from(*pivot))
     }
 }

@@ -83,11 +83,62 @@ pub fn lint_files(files: &[SourceFile]) -> Vec<Finding> {
         out.extend(rules::error_context(f));
     }
     out.extend(rules::lock_order(files));
+    out.extend(rules::lock_graph(files));
     if let Some(declared) = &declared {
         out.extend(rules::metrics_registry(files, declared));
     }
     out.sort();
     out
+}
+
+/// Renders a report as JSON: `{"new": [...], "baselined": [...],
+/// "stale": [...]}` with one object per finding. Output is byte-stable
+/// for a given report — findings arrive sorted (rule, path, line) and
+/// field order is fixed.
+pub fn render_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn finding_json(f: &Finding) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"line_text\":\"{}\"}}",
+            esc(&f.rule),
+            esc(&f.path),
+            f.line,
+            esc(&f.message),
+            esc(&f.line_text)
+        )
+    }
+    let list = |fs: &[Finding]| {
+        fs.iter()
+            .map(finding_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    };
+    let stale = report
+        .stale
+        .iter()
+        .map(|k| format!("\"{}\"", esc(k)))
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n  \"new\": [\n    {}\n  ],\n  \"baselined\": [\n    {}\n  ],\n  \"stale\": [\n    {}\n  ]\n}}\n",
+        list(&report.new),
+        list(&report.baselined),
+        stale
+    )
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -8,22 +8,28 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tdb_lint::{
-    apply_baseline, find_workspace_root, lint_workspace, load_baseline, write_baseline,
-    BASELINE_FILE,
+    apply_baseline, find_workspace_root, lint_workspace, load_baseline, render_json,
+    write_baseline, BASELINE_FILE,
 };
 
 fn main() -> ExitCode {
     let mut update = false;
     let mut verbose = false;
+    let mut json = false;
+    let mut forbid_baseline = false;
     for arg in env::args().skip(1) {
         match arg.as_str() {
             "--update-baseline" => update = true,
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
+            "--forbid-baseline" => forbid_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "tdb-lint: domain lints for the ThresholDB workspace\n\n\
                      USAGE: cargo run -p tdb-lint [-- FLAGS]\n\n\
                      FLAGS:\n  --update-baseline  rewrite {BASELINE_FILE} to cover current findings\n  \
+                     --json             emit the report as JSON on stdout\n  \
+                     --forbid-baseline  fail if {BASELINE_FILE} grandfathers any finding\n  \
                      --verbose, -v      also list baselined findings\n  --help, -h         this help"
                 );
                 return ExitCode::SUCCESS;
@@ -73,6 +79,14 @@ fn main() -> ExitCode {
     };
     let report = apply_baseline(findings, &baseline);
 
+    if json {
+        print!("{}", render_json(&report));
+        return if report.ok() && (!forbid_baseline || baseline.is_empty()) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if verbose {
         for f in &report.baselined {
             println!("baselined: {}", f.render());
@@ -92,6 +106,15 @@ fn main() -> ExitCode {
         report.baselined.len(),
         report.stale.len()
     );
+    if forbid_baseline && !baseline.is_empty() {
+        eprintln!(
+            "tdb-lint: --forbid-baseline: {BASELINE_FILE} grandfathers {} finding(s) — \
+             the baseline is burned down; fix findings or use a justified pragma \
+             instead of re-growing it",
+            baseline.len()
+        );
+        return ExitCode::FAILURE;
+    }
     if report.ok() {
         ExitCode::SUCCESS
     } else {

@@ -15,17 +15,19 @@ use crate::scan::SourceFile;
 pub const RULES: &[&str] = &[
     "float-width",
     "lock-order",
+    "lock-graph",
     "panic-path",
     "metrics-registry",
     "error-context",
 ];
 
-/// One diagnostic.
+/// One diagnostic. Field order is load-bearing: the derived `Ord` sorts
+/// reports by rule, then path, then line — the stable output order.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
+    pub rule: String,
     pub path: String,
     pub line: u32,
-    pub rule: String,
     pub message: String,
     /// Trimmed text of the offending source line — the drift-stable key
     /// the baseline matches on.
@@ -127,7 +129,8 @@ pub fn float_width(file: &SourceFile) -> Vec<Finding> {
 /// acquisition (`cache/stats`, `storage/inner`).
 type LockId = String;
 
-/// One acquisition edge: while holding `held`, `acquired` was taken.
+/// One acquisition edge: while holding `held`, `acquired` was taken —
+/// directly, or (`via` set) through a one-level intra-crate call.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct LockEdge {
     pub held: LockId,
@@ -135,22 +138,97 @@ pub struct LockEdge {
     pub path: String,
     pub line: u32,
     pub line_text: String,
+    pub via: Option<String>,
 }
 
-/// Per-function static lock analysis: tracks guard scopes of
-/// `Mutex::lock` / `RwLock::read` / `RwLock::write` acquisitions, emits
-/// the cross-crate acquisition graph, and flags guards held across
-/// blocking I/O or channel waits.
+/// A direct call made while at least one guard was held.
+struct HeldCall {
+    callee: String,
+    krate: String,
+    held: Vec<LockId>,
+    path: String,
+    line: u32,
+    line_text: String,
+}
+
+/// What the per-function guard-scope scan extracts for the two lock
+/// rules.
+#[derive(Default)]
+struct FnLocks {
+    /// Acquisition edges within this function.
+    edges: Vec<LockEdge>,
+    /// Direct calls made with a guard held (for one-level following).
+    calls: Vec<HeldCall>,
+    /// Every lock this function acquires itself.
+    acquired: Vec<LockId>,
+    /// Guard-held-across-blocking-call findings (rule `lock-order`).
+    blocking: Vec<Finding>,
+}
+
+/// Flags guards held across blocking I/O or channel waits — a parked
+/// thread holding a lock stalls every other acquirer on the data path.
 pub fn lock_order(files: &[SourceFile]) -> Vec<Finding> {
-    const RULE: &str = "lock-order";
-    let mut edges: Vec<LockEdge> = Vec::new();
     let mut out = Vec::new();
     for file in files {
         if file.is_test_file {
             continue;
         }
         for f in &file.fns {
-            scan_fn_locks(file, f.body_start, f.body_end, RULE, &mut edges, &mut out);
+            out.extend(scan_fn_locks(file, f.body_start, f.body_end).blocking);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Builds the cross-function lock-acquisition graph and fails on cycles.
+///
+/// Per-function acquisition sequences come from the guard-scope scan
+/// (guard binding to end of scope); on top of those direct edges, a call
+/// to an intra-crate function whose name is *unique in its crate* pulls
+/// in that callee's own acquisitions one level deep — `f` holding `a`
+/// and calling `g` which locks `b` contributes the edge `a → b`.
+/// Ambiguous names (defined more than once in the crate) are not
+/// followed: a wrong guess would manufacture edges that don't exist.
+pub fn lock_graph(files: &[SourceFile]) -> Vec<Finding> {
+    const RULE: &str = "lock-graph";
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut calls: Vec<HeldCall> = Vec::new();
+    // (crate, fn name) → locks the fn acquires; None once ambiguous
+    let mut acquired_by: BTreeMap<(String, String), Option<Vec<LockId>>> = BTreeMap::new();
+    for file in files {
+        if file.is_test_file {
+            continue;
+        }
+        for f in &file.fns {
+            let scan = scan_fn_locks(file, f.body_start, f.body_end);
+            edges.extend(scan.edges);
+            calls.extend(scan.calls.into_iter().filter(|c| c.callee != f.name));
+            acquired_by
+                .entry((file.crate_name().to_string(), f.name.clone()))
+                .and_modify(|e| *e = None)
+                .or_insert(Some(scan.acquired));
+        }
+    }
+    // one-level call following
+    for c in &calls {
+        let Some(Some(callee_locks)) = acquired_by.get(&(c.krate.clone(), c.callee.clone())) else {
+            continue;
+        };
+        for lock in callee_locks {
+            for held in &c.held {
+                if held != lock {
+                    edges.push(LockEdge {
+                        held: held.clone(),
+                        acquired: lock.clone(),
+                        path: c.path.clone(),
+                        line: c.line,
+                        line_text: c.line_text.clone(),
+                        via: Some(c.callee.clone()),
+                    });
+                }
+            }
         }
     }
     // cycle detection over the global acquisition graph
@@ -158,15 +236,21 @@ pub fn lock_order(files: &[SourceFile]) -> Vec<Finding> {
     for e in &edges {
         graph.entry(&e.held).or_default().insert(&e.acquired);
     }
+    let mut out = Vec::new();
     for e in &edges {
         if reaches(&graph, &e.acquired, &e.held) {
+            let via = e
+                .via
+                .as_ref()
+                .map(|f| format!(" (via call to `{f}`)"))
+                .unwrap_or_default();
             out.push(Finding {
+                rule: RULE.to_string(),
                 path: e.path.clone(),
                 line: e.line,
-                rule: RULE.to_string(),
                 message: format!(
-                    "acquiring `{}` while holding `{}` closes a lock-order cycle \
-                     (`{}` is elsewhere acquired while `{}` is held)",
+                    "acquiring `{}`{via} while holding `{}` closes a lock-order \
+                     cycle (`{}` is elsewhere acquired while `{}` is held)",
                     e.acquired, e.held, e.held, e.acquired
                 ),
                 line_text: e.line_text.clone(),
@@ -226,14 +310,13 @@ struct Guard {
     var: Option<String>,
 }
 
-fn scan_fn_locks(
-    file: &SourceFile,
-    start: usize,
-    end: usize,
-    rule: &str,
-    edges: &mut Vec<LockEdge>,
-    out: &mut Vec<Finding>,
-) {
+/// Rust keywords that look like calls in `kw (..)` position.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "break",
+];
+
+fn scan_fn_locks(file: &SourceFile, start: usize, end: usize) -> FnLocks {
+    let mut scan = FnLocks::default();
     let mut held: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
     let end = end.min(file.len());
@@ -259,16 +342,18 @@ fn scan_fn_locks(
             let acquires = zero_arg
                 && file.is_punct(i.wrapping_sub(1), '.')
                 && matches!(name, "lock" | "read" | "write");
-            if acquires && !skipped(file, i, rule) {
+            if acquires && !skipped(file, i, "lock-graph") {
                 let lock = lock_identity(file, i);
+                scan.acquired.push(lock.clone());
                 for g in &held {
                     if g.lock != lock {
-                        edges.push(LockEdge {
+                        scan.edges.push(LockEdge {
                             held: g.lock.clone(),
                             acquired: lock.clone(),
                             path: file.path.clone(),
                             line: file.line(i),
                             line_text: file.line_text(file.tok(i).start).to_string(),
+                            via: None,
                         });
                     }
                 }
@@ -279,17 +364,17 @@ fn scan_fn_locks(
                     let_bound,
                     var,
                 });
-            } else if is_call && !skipped(file, i, rule) {
+            } else if is_call {
                 let held_guards: Vec<&Guard> = held.iter().filter(|g| g.let_bound).collect();
                 let blocking = BLOCKING_CALLS.contains(&name) && !held_guards.is_empty();
                 let condvar_blocked = CONDVAR_WAITS.contains(&name) && held_guards.len() >= 2;
-                if blocking || condvar_blocked {
+                if (blocking || condvar_blocked) && !skipped(file, i, "lock-order") {
                     let lock_list: Vec<&str> =
                         held_guards.iter().map(|g| g.lock.as_str()).collect();
-                    out.push(finding(
+                    scan.blocking.push(finding(
                         file,
                         i,
-                        rule,
+                        "lock-order",
                         format!(
                             "`{name}()` can block while guard{} `{}` {} held — a \
                              parked thread holding a lock stalls every other \
@@ -300,10 +385,24 @@ fn scan_fn_locks(
                         ),
                     ));
                 }
+                if !held.is_empty()
+                    && !CALL_KEYWORDS.contains(&name)
+                    && !skipped(file, i, "lock-graph")
+                {
+                    scan.calls.push(HeldCall {
+                        callee: name.to_string(),
+                        krate: file.crate_name().to_string(),
+                        held: held.iter().map(|g| g.lock.clone()).collect(),
+                        path: file.path.clone(),
+                        line: file.line(i),
+                        line_text: file.line_text(file.tok(i).start).to_string(),
+                    });
+                }
             }
         }
         i += 1;
     }
+    scan
 }
 
 /// Builds the lock identity from the receiver path before `.lock()` at
@@ -435,7 +534,11 @@ pub fn panic_path(file: &SourceFile) -> Vec<Finding> {
                 let prev = file.tok(i - 1);
                 let indexes = match prev.kind {
                     TokenKind::Ident => {
-                        !matches!(file.text(i - 1), "in" | "return" | "break" | "mut" | "ref")
+                        // `let [a, b] = ..` destructures, it never indexes
+                        !matches!(
+                            file.text(i - 1),
+                            "in" | "return" | "break" | "mut" | "ref" | "let"
+                        )
                     }
                     TokenKind::Punct => matches!(file.text(i - 1), ")" | "]"),
                     _ => false,
@@ -811,7 +914,7 @@ mod tests {
     }
 
     #[test]
-    fn lock_order_detects_cycle() {
+    fn lock_graph_detects_cycle() {
         let a = file(
             "crates/cache/src/a.rs",
             "fn f(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }",
@@ -820,18 +923,50 @@ mod tests {
             "crates/cache/src/b.rs",
             "fn g(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); }",
         );
-        let got = lock_order(&[a, b]);
+        let got = lock_graph(&[a, b]);
         assert!(got.iter().any(|f| f.message.contains("cycle")), "{got:?}");
     }
 
     #[test]
-    fn lock_order_consistent_order_is_clean() {
+    fn lock_graph_consistent_order_is_clean() {
         let a = file(
             "crates/cache/src/a.rs",
             "fn f(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }\n\
              fn g(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }",
         );
-        assert!(lock_order(&[a]).is_empty());
+        assert!(lock_graph(&[a]).is_empty());
+    }
+
+    #[test]
+    fn lock_graph_follows_intra_crate_calls_one_level() {
+        // f holds alpha while calling helper (which locks beta); g takes
+        // beta then alpha — a cycle only visible through the call edge
+        let a = file(
+            "crates/cache/src/a.rs",
+            "fn f(&self) { let g = self.alpha.lock(); self.helper(1); }\n\
+             fn helper(&self, n: u32) { let h = self.beta.lock(); }\n\
+             fn g(&self) { let x = self.beta.lock(); let y = self.alpha.lock(); }",
+        );
+        let got = lock_graph(&[a]);
+        assert!(
+            got.iter()
+                .any(|f| f.message.contains("via call to `helper`")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn lock_graph_does_not_follow_ambiguous_names() {
+        // two fns named helper in the crate: the call is not followed,
+        // so no cycle is manufactured
+        let a = file(
+            "crates/cache/src/a.rs",
+            "fn f(&self) { let g = self.alpha.lock(); self.helper(1); }\n\
+             fn helper(&self, n: u32) { let h = self.beta.lock(); }\n\
+             fn g(&self) { let x = self.beta.lock(); let y = self.alpha.lock(); }",
+        );
+        let b = file("crates/cache/src/b.rs", "fn helper(&self, n: u32) { }");
+        assert!(lock_graph(&[a, b]).is_empty());
     }
 
     #[test]

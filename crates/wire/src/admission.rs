@@ -34,8 +34,10 @@
 //! `qos.evicted` count of waiters displaced by higher-priority arrivals.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
 
 /// One tenant's QoS contract, matched by API key.
 #[derive(Debug, Clone)]
@@ -246,7 +248,7 @@ impl AdmissionQueue {
     /// [`Admission::Busy`] when it does not.
     pub fn admit_keyed(self: &Arc<Self>, conn: u64, api_key: Option<&str>) -> Admission {
         let start = Instant::now();
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         let t = inner.tenant_of(api_key);
         if inner.inflight < self.config.max_inflight && inner.under_quota(t) {
             inner.inflight += 1;
@@ -324,7 +326,7 @@ impl AdmissionQueue {
                     retry_ms: self.config.busy_retry_ms,
                 };
             }
-            inner = self.freed.wait(inner).unwrap_or_else(|e| e.into_inner());
+            self.freed.wait(&mut inner);
         }
         *inner.served.entry((t, conn)).or_default() += 1;
         let label = inner.tenant(t).label.clone();
@@ -339,7 +341,7 @@ impl AdmissionQueue {
     }
 
     fn release(&self, tenant: usize) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         inner.inflight -= 1;
         inner.tenant_mut(tenant).inflight -= 1;
         let mut woke = false;
@@ -461,7 +463,7 @@ mod tests {
         for (conn, tag) in [(0u64, "A2"), (0, "A3"), (1, "B1")] {
             // wait until the previous waiter is parked so arrival order
             // is deterministic
-            let before = q.inner.lock().unwrap().waiting.len();
+            let before = q.inner.lock().waiting.len();
             let qc = Arc::clone(&q);
             let txc = tx.clone();
             handles.push(std::thread::spawn(move || {
@@ -471,7 +473,7 @@ mod tests {
                 txc.send(tag).unwrap();
                 drop(p);
             }));
-            while q.inner.lock().unwrap().waiting.len() <= before {
+            while q.inner.lock().waiting.len() <= before {
                 std::thread::yield_now();
             }
         }
@@ -497,7 +499,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let mut handles = Vec::new();
         for &(conn, key, tag) in arrivals {
-            let before = q.inner.lock().unwrap().waiting.len();
+            let before = q.inner.lock().waiting.len();
             let qc = Arc::clone(q);
             let txc = tx.clone();
             handles.push(std::thread::spawn(move || {
@@ -507,7 +509,7 @@ mod tests {
                 txc.send(tag).unwrap();
                 drop(p);
             }));
-            while q.inner.lock().unwrap().waiting.len() <= before {
+            while q.inner.lock().waiting.len() <= before {
                 std::thread::yield_now();
             }
         }
@@ -564,11 +566,11 @@ mod tests {
             };
             drop(p);
         });
-        while q.inner.lock().unwrap().waiting.is_empty() {
+        while q.inner.lock().waiting.is_empty() {
             std::thread::yield_now();
         }
         assert!(matches!(q.admit(2), Admission::Granted(_)));
-        assert_eq!(q.inner.lock().unwrap().waiting.len(), 1);
+        assert_eq!(q.inner.lock().waiting.len(), 1);
         drop(held);
         parked.join().unwrap();
     }
@@ -587,7 +589,7 @@ mod tests {
         // an anonymous waiter fills the queue...
         let qc = Arc::clone(&q);
         let anon = std::thread::spawn(move || qc.admit(1));
-        while q.inner.lock().unwrap().waiting.is_empty() {
+        while q.inner.lock().waiting.is_empty() {
             std::thread::yield_now();
         }
         // ...and a premium arrival displaces it instead of being shed
@@ -610,7 +612,7 @@ mod tests {
         };
         let qc = Arc::clone(&q);
         let _waiter = std::thread::spawn(move || qc.admit(4));
-        while q.inner.lock().unwrap().waiting.is_empty() {
+        while q.inner.lock().waiting.is_empty() {
             std::thread::yield_now();
         }
         assert!(matches!(q.admit(5), Admission::Busy { .. }));

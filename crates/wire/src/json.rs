@@ -203,7 +203,11 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+        {
             self.pos += lit.len();
             Ok(v)
         } else {
@@ -304,7 +308,11 @@ impl<'a> Parser<'a> {
                             let cp = self.hex4()?;
                             // surrogate pairs
                             let ch = if (0xd800..0xdc00).contains(&cp) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self
+                                    .bytes
+                                    .get(self.pos..)
+                                    .is_some_and(|rest| rest.starts_with(b"\\u"))
+                                {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
                                     let combined = 0x10000
@@ -350,11 +358,11 @@ impl<'a> Parser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("invalid hex"))?;
+        let quad = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(quad).map_err(|_| self.err("invalid hex"))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid hex"))?;
         self.pos += 4;
         Ok(v)
@@ -383,8 +391,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

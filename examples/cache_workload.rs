@@ -77,7 +77,8 @@ fn main() {
         &full,
         32,
         &DeviceProfile::user_wan(),
-    );
+    )
+    .expect("baseline estimate");
     println!(
         "  integrated (server-side): {:9.2}s modelled, {} points returned",
         integrated.breakdown.total_s(),

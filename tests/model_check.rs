@@ -1,0 +1,303 @@
+//! Component models under the `tdb-check` schedule-exploration checker.
+//!
+//! Four concurrency-critical components get a closed model each: the
+//! scan-scheduler batch close, the mediator's failover-vs-rebalance lock
+//! discipline, the admission queue's WFQ grant/evict/shed protocol (real
+//! code), and the buffer pool's eviction-vs-decode path (real code).
+//! Where this PR fixed a real bug — the scan-scheduler batch overshoot —
+//! the *buggy* variant rides along as a regression model the checker
+//! must still catch.
+//!
+//! Closed models use `wait_for(..).timed_out()` with bounded retries as
+//! their loop exits: under the checker a timed wait is virtual time (the
+//! scheduler may fire the timeout at any point), so models terminate
+//! without wall-clock dependence.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use tdb_check::{thread, FailureKind, Model};
+use tdb_storage::bufferpool::BlockKey;
+use tdb_storage::{BufferPool, IoSession};
+use tdb_wire::admission::{Admission, AdmissionConfig, AdmissionQueue, TenantSpec};
+
+// ---------------------------------------------------------------------
+// 1. ScanScheduler: leader/joiner batch close
+// ---------------------------------------------------------------------
+
+/// Closed model of `tdb_cluster::scheduler::ScanScheduler::submit` for a
+/// single scan-group key: the batch is `Some(entries)` while open, the
+/// leader closes it by `take`-ing it. Mirrors the fixed protocol —
+/// joiners check fullness before pushing and wait for the close, the
+/// leader notifies on close.
+struct BatchModel {
+    open: Mutex<Option<Vec<usize>>>,
+    joined: Condvar,
+    ran: Mutex<Vec<Vec<usize>>>,
+}
+
+impl BatchModel {
+    fn new() -> Self {
+        Self {
+            open: Mutex::new(None),
+            joined: Condvar::new(),
+            ran: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn submit(&self, me: usize, max_batch: usize, overshoot_bug: bool) {
+        let leader = {
+            let mut open = self.open.lock();
+            loop {
+                match open.as_mut() {
+                    Some(batch) if overshoot_bug || batch.len() < max_batch => {
+                        batch.push(me);
+                        self.joined.notify_all();
+                        break false;
+                    }
+                    Some(_) => self.joined.wait(&mut open),
+                    None => {
+                        *open = Some(vec![me]);
+                        break true;
+                    }
+                }
+            }
+        };
+        if leader {
+            let mut open = self.open.lock();
+            // the coalescing window: bounded timed waits stand in for the
+            // Instant deadline of the real scheduler
+            let mut rounds = 0;
+            while open.as_ref().map_or(0, |b| b.len()) < max_batch {
+                if self
+                    .joined
+                    .wait_for(&mut open, Duration::from_millis(1))
+                    .timed_out()
+                {
+                    rounds += 1;
+                    if rounds > 2 {
+                        break;
+                    }
+                }
+            }
+            let batch = open.take().expect("batch vanished under its leader");
+            self.joined.notify_all();
+            drop(open);
+            assert!(
+                batch.len() <= max_batch,
+                "batch of {} overshot max_batch={max_batch}",
+                batch.len()
+            );
+            self.ran.lock().push(batch);
+        }
+    }
+}
+
+fn batch_close_model(overshoot_bug: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let m = Arc::new(BatchModel::new());
+        let handles: Vec<_> = (1..3)
+            .map(|id| {
+                let m2 = Arc::clone(&m);
+                thread::spawn(move || m2.submit(id, 2, overshoot_bug))
+            })
+            .collect();
+        m.submit(0, 2, overshoot_bug);
+        for h in handles {
+            h.join();
+        }
+        // every submitter ran in exactly one closed batch
+        let mut served: Vec<usize> = m.ran.lock().iter().flatten().copied().collect();
+        served.sort_unstable();
+        assert_eq!(served, [0, 1, 2], "submitters lost or double-served");
+    }
+}
+
+#[test]
+fn scan_scheduler_batch_close_passes() {
+    let report = Model::new("scheduler: batch close")
+        .budget(4096)
+        .check_quiet(batch_close_model(false));
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+/// Regression: the pre-fix joiner pushed without checking fullness, so a
+/// burst could overshoot `max_batch` while the leader slept. The checker
+/// must find that interleaving.
+#[test]
+fn scan_scheduler_overshoot_regression_is_caught() {
+    let report = Model::new("scheduler: overshoot regression")
+        .budget(4096)
+        .check_quiet(batch_close_model(true));
+    let failure = report.failure.expect("checker must catch the overshoot");
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure:?}");
+    assert!(
+        failure.message.contains("overshot max_batch"),
+        "{failure:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. Mediator: failover re-scatter vs topology generation swap
+// ---------------------------------------------------------------------
+
+/// Closed model of the mediator's lock discipline: both mutators (the
+/// rebalancer and dead-node failover) take the `rebalance` planning lock
+/// *before* the `topology` write lock, and the query path only ever
+/// holds the topology read lock. Epochs observed by a re-scattering
+/// query must be monotone.
+fn failover_vs_swap_model() {
+    let rebalance = Arc::new(Mutex::new(()));
+    let topology = Arc::new(RwLock::new(1u64));
+
+    let (r2, t2) = (Arc::clone(&rebalance), Arc::clone(&topology));
+    let rebalancer = thread::spawn(move || {
+        let _plan = r2.lock();
+        *t2.write() += 1;
+    });
+    let (r3, t3) = (Arc::clone(&rebalance), Arc::clone(&topology));
+    let failover = thread::spawn(move || {
+        let _plan = r3.lock();
+        *t3.write() += 1;
+    });
+
+    // the query path: scatter against a snapshot, lose a node, re-read
+    // the topology for the re-scatter
+    let first = *topology.read();
+    let retry = *topology.read();
+    assert!(retry >= first, "topology generation went backwards");
+
+    rebalancer.join();
+    failover.join();
+    assert_eq!(*topology.read(), 3, "a swap was lost");
+}
+
+#[test]
+fn mediator_failover_vs_topology_swap_passes() {
+    let report = Model::new("mediator: failover vs topology swap")
+        .budget(4096)
+        .check_quiet(failover_vs_swap_model);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+/// Regression guard for the discipline itself: inverting the order in
+/// one path (topology write held while acquiring the planning lock) is
+/// an ABBA deadlock the checker must find.
+#[test]
+fn mediator_inverted_lock_order_is_caught() {
+    let report = Model::new("mediator: inverted lock order").check_quiet(|| {
+        let rebalance = Arc::new(Mutex::new(()));
+        let topology = Arc::new(RwLock::new(1u64));
+        let (r2, t2) = (Arc::clone(&rebalance), Arc::clone(&topology));
+        let admin = thread::spawn(move || {
+            let _plan = r2.lock();
+            *t2.write() += 1;
+        });
+        let epoch = topology.write();
+        let _plan = rebalance.lock();
+        drop(epoch);
+        admin.join();
+    });
+    let failure = report.failure.expect("checker must catch the ABBA order");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure:?}");
+}
+
+// ---------------------------------------------------------------------
+// 3. AdmissionQueue: WFQ grant / evict / shed (real code)
+// ---------------------------------------------------------------------
+
+/// The real `AdmissionQueue` under the checker: one slot, one queue
+/// seat, an anonymous and a premium arrival racing a release. In every
+/// interleaving the premium tenant must end up granted (it can evict the
+/// anonymous waiter and nobody outranks it), no waiter may be lost, and
+/// all threads must terminate — this exercises the granted-set handoff
+/// and the notify-after-unlock protocol in `release`.
+#[test]
+fn admission_wfq_grant_evict_shed_passes() {
+    let report = Model::new("admission: WFQ grant/evict/shed")
+        .budget(4096)
+        .check_quiet(|| {
+            let q = AdmissionQueue::new(AdmissionConfig {
+                max_inflight: 1,
+                queue_depth: 1,
+                busy_retry_ms: 1,
+                tenants: vec![TenantSpec::new("premium", 2).with_shed_priority(5)],
+            });
+            let Admission::Granted(held) = q.admit(0) else {
+                panic!("first query must take the free slot");
+            };
+            let q2 = Arc::clone(&q);
+            let anon = thread::spawn(move || match q2.admit(1) {
+                Admission::Granted(p) => {
+                    drop(p);
+                    true
+                }
+                Admission::Busy { .. } => false,
+            });
+            let q3 = Arc::clone(&q);
+            let premium = thread::spawn(move || match q3.admit_keyed(2, Some("premium")) {
+                Admission::Granted(p) => {
+                    drop(p);
+                    true
+                }
+                Admission::Busy { .. } => false,
+            });
+            drop(held);
+            let _anon_granted = anon.join();
+            let premium_granted = premium.join();
+            assert!(premium_granted, "premium arrival must never be shed here");
+        });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+// ---------------------------------------------------------------------
+// 4. BufferPool: eviction vs concurrent decode (real code)
+// ---------------------------------------------------------------------
+
+/// The real `BufferPool` under the checker, sized so concurrent misses
+/// force evictions while another thread decodes. Decoded bytes must be
+/// identical whether they came from a hit or a (re)load, and the byte
+/// budget must hold at quiescence.
+#[test]
+fn bufferpool_eviction_vs_decode_passes() {
+    fn key(i: u32) -> BlockKey {
+        BlockKey {
+            file_id: 1,
+            block_no: i,
+        }
+    }
+    fn block(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 10])
+    }
+    let report = Model::new("bufferpool: eviction vs decode")
+        .budget(4096)
+        .check_quiet(|| {
+            let pool: Arc<BufferPool> = Arc::new(BufferPool::new(25));
+            let p2 = Arc::clone(&pool);
+            let t = thread::spawn(move || {
+                let mut s = IoSession::new();
+                for tag in [1u8, 2] {
+                    let got = p2
+                        .get_or_load(key(tag as u32), &mut s, |_| Ok(block(tag)))
+                        .expect("in-memory load cannot fail");
+                    assert_eq!(got, block(tag), "decode returned wrong bytes");
+                }
+            });
+            let mut s = IoSession::new();
+            for tag in [3u8, 1] {
+                let got = pool
+                    .get_or_load(key(tag as u32), &mut s, |_| Ok(block(tag)))
+                    .expect("in-memory load cannot fail");
+                assert_eq!(got, block(tag), "hit returned different bytes than load");
+            }
+            t.join();
+            let (used, len) = (pool.used_bytes(), pool.len());
+            assert!(
+                used <= 25 || len == 1,
+                "byte budget violated: {used} bytes in {len} blocks"
+            );
+        });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
